@@ -1,0 +1,130 @@
+// Benchmarks: one testing.B entry per table and figure of the paper's
+// evaluation section (plus the ablations). Each benchmark drives the same
+// experiment code cmd/experiments runs, at a reduced scale so the whole
+// suite completes quickly; run `cmd/experiments -run <id>` for the
+// full-scale numbers recorded in EXPERIMENTS.md.
+package genclus_test
+
+import (
+	"testing"
+
+	"genclus"
+	"genclus/internal/bench"
+)
+
+// benchConfig keeps benchmark iterations fast while preserving every code
+// path of the full-scale experiments.
+func benchConfig() bench.Config {
+	return bench.Config{Scale: 0.06, Runs: 2, Seed: 1}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := bench.Get(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5AC(b *testing.B)              { runExperiment(b, "fig5") }
+func BenchmarkFig6ACP(b *testing.B)             { runExperiment(b, "fig6") }
+func BenchmarkTable1CaseStudy(b *testing.B)     { runExperiment(b, "table1") }
+func BenchmarkFig7WeatherSetting1(b *testing.B) { runExperiment(b, "fig7") }
+func BenchmarkFig8WeatherSetting2(b *testing.B) { runExperiment(b, "fig8") }
+func BenchmarkTable2LinkPredAC(b *testing.B)    { runExperiment(b, "table2") }
+func BenchmarkTable3LinkPredACP(b *testing.B)   { runExperiment(b, "table3") }
+func BenchmarkTable4LinkPredWeather(b *testing.B) {
+	runExperiment(b, "table4")
+}
+func BenchmarkFig9Strengths(b *testing.B)          { runExperiment(b, "fig9") }
+func BenchmarkTable5WeatherStrengths(b *testing.B) { runExperiment(b, "table5") }
+func BenchmarkFig10RunningCase(b *testing.B)       { runExperiment(b, "fig10") }
+func BenchmarkFig11Scalability(b *testing.B)       { runExperiment(b, "fig11") }
+func BenchmarkParallelEM(b *testing.B)             { runExperiment(b, "parallel") }
+func BenchmarkAblationAsymmetry(b *testing.B)      { runExperiment(b, "ablation-asym") }
+func BenchmarkAblationFixedGamma(b *testing.B)     { runExperiment(b, "ablation-gamma") }
+func BenchmarkAblationPrior(b *testing.B)          { runExperiment(b, "ablation-prior") }
+func BenchmarkSelectK(b *testing.B)                { runExperiment(b, "selectk") }
+func BenchmarkHoldoutLinkPred(b *testing.B)        { runExperiment(b, "ext-holdout") }
+
+// BenchmarkFitWeather measures a full GenClus fit on a mid-size weather
+// network — the end-to-end number a library user cares about.
+func BenchmarkFitWeather(b *testing.B) {
+	ds, err := genclus.GenerateWeather(genclus.WeatherSetting1(200, 100, 5, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := genclus.DefaultOptions(4)
+	opts.OuterIters = 3
+	opts.EMIters = 5
+	opts.InitSeeds = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i)
+		if _, err := genclus.Fit(ds.Net, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitBibliographic measures a full fit on a small ACP network.
+func BenchmarkFitBibliographic(b *testing.B) {
+	cfg := genclus.DefaultBiblioConfig(genclus.SchemaACP, 1)
+	cfg.NumAuthors = 120
+	cfg.NumPapers = 200
+	cfg.LabeledPapers = 20
+	ds, err := genclus.GenerateBibliographic(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := genclus.DefaultOptions(4)
+	opts.OuterIters = 3
+	opts.EMIters = 5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i)
+		if _, err := genclus.Fit(ds.Net, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateWeather isolates the Appendix C generator (kd-tree kNN
+// construction dominates).
+func BenchmarkGenerateWeather(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := genclus.GenerateWeather(genclus.WeatherSetting1(500, 250, 5, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLinkPredictionMAP isolates the §5.2.2 evaluation path.
+func BenchmarkLinkPredictionMAP(b *testing.B) {
+	ds, err := genclus.GenerateWeather(genclus.WeatherSetting1(200, 100, 3, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := genclus.DefaultOptions(4)
+	opts.OuterIters = 2
+	opts.EMIters = 3
+	opts.InitSeeds = 1
+	res, err := genclus.Fit(ds.Net, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := genclus.Similarities()[2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := genclus.LinkPredictionMAP(ds.Net, res.Theta, "<T,P>", sim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package genclus_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline builds the three command-line tools and runs the full
+// workflow: generate a dataset, cluster it, and sanity-check the result
+// JSON. Skipped when the Go toolchain cannot build (e.g. vendored test
+// environments without a compiler).
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	build := func(name, pkg string) string {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = "."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+		return bin
+	}
+	datagenBin := build("datagen", "./cmd/datagen")
+	genclusBin := build("genclus", "./cmd/genclus")
+	experimentsBin := build("experiments", "./cmd/experiments")
+
+	netPath := filepath.Join(dir, "net.json")
+	labelsPath := filepath.Join(dir, "labels.json")
+	run := func(bin string, args ...string) []byte {
+		cmd := exec.Command(bin, args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+		}
+		return out
+	}
+
+	// 1. Generate a small weather dataset.
+	run(datagenBin, "-kind", "weather", "-numT", "60", "-numP", "30", "-nobs", "3",
+		"-out", netPath, "-labels", labelsPath)
+	if _, err := os.Stat(netPath); err != nil {
+		t.Fatal("datagen produced no network file")
+	}
+	var labelDoc struct {
+		K      int            `json:"k"`
+		Labels map[string]int `json:"labels"`
+	}
+	labelData, err := os.ReadFile(labelsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(labelData, &labelDoc); err != nil {
+		t.Fatal(err)
+	}
+	if labelDoc.K != 4 || len(labelDoc.Labels) != 90 {
+		t.Fatalf("labels doc wrong: K=%d n=%d", labelDoc.K, len(labelDoc.Labels))
+	}
+
+	// 2. Cluster it.
+	resultPath := filepath.Join(dir, "result.json")
+	run(genclusBin, "-in", netPath, "-k", "4", "-outer", "3", "-em", "4",
+		"-out", resultPath, "-history")
+	var result struct {
+		K       int `json:"k"`
+		Objects []struct {
+			ID      string    `json:"id"`
+			Theta   []float64 `json:"theta"`
+			Cluster int       `json:"cluster"`
+		} `json:"objects"`
+		Gamma      map[string]float64 `json:"gamma"`
+		Iterations []struct {
+			Iter int `json:"iter"`
+		} `json:"iterations"`
+	}
+	resultData, err := os.ReadFile(resultPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(resultData, &result); err != nil {
+		t.Fatal(err)
+	}
+	if result.K != 4 || len(result.Objects) != 90 {
+		t.Fatalf("result shape wrong: K=%d objects=%d", result.K, len(result.Objects))
+	}
+	if len(result.Gamma) != 4 {
+		t.Fatalf("expected 4 relations, got %v", result.Gamma)
+	}
+	if len(result.Iterations) != 4 { // iter 0..3
+		t.Fatalf("expected 4 history entries, got %d", len(result.Iterations))
+	}
+	for _, obj := range result.Objects {
+		if len(obj.Theta) != 4 || obj.Cluster < 0 || obj.Cluster > 3 {
+			t.Fatalf("object %s malformed: %+v", obj.ID, obj)
+		}
+	}
+
+	// 3. The experiments tool lists its registry.
+	listing := string(run(experimentsBin, "-list"))
+	for _, id := range []string{"fig5", "table5", "parallel", "selectk"} {
+		if !strings.Contains(listing, id) {
+			t.Errorf("experiment listing missing %s", id)
+		}
+	}
+
+	// 4. Error paths exit non-zero.
+	if err := exec.Command(genclusBin, "-in", "/definitely/missing.json", "-k", "4").Run(); err == nil {
+		t.Error("genclus with missing input should fail")
+	}
+	if err := exec.Command(datagenBin, "-kind", "nope", "-out", netPath).Run(); err == nil {
+		t.Error("datagen with bogus kind should fail")
+	}
+	if err := exec.Command(experimentsBin, "-run", "bogus").Run(); err == nil {
+		t.Error("experiments with bogus id should fail")
+	}
+}

@@ -1,0 +1,89 @@
+package genclus_test
+
+import (
+	"fmt"
+
+	"genclus"
+)
+
+// ExampleFit clusters a miniature two-topic citation network and shows that
+// documents with disjoint vocabularies separate while an attribute-free hub
+// follows its neighbors.
+func ExampleFit() {
+	b := genclus.NewBuilder()
+	b.DeclareAttribute(genclus.AttrSpec{Name: "text", Kind: genclus.Categorical, VocabSize: 10})
+	for i := 0; i < 4; i++ {
+		doc := fmt.Sprintf("red%d", i)
+		b.AddObject(doc, "doc")
+		for w := 0; w < 8; w++ {
+			b.AddTermCount(doc, "text", w%5, 1)
+		}
+		doc = fmt.Sprintf("blue%d", i)
+		b.AddObject(doc, "doc")
+		for w := 0; w < 8; w++ {
+			b.AddTermCount(doc, "text", 5+w%5, 1)
+		}
+	}
+	b.AddObject("hub", "hub") // carries no attributes at all
+	for i := 0; i < 4; i++ {
+		b.AddLink("hub", fmt.Sprintf("red%d", i), "touches", 1)
+		b.AddLink(fmt.Sprintf("red%d", i), "hub", "touched_by", 1)
+	}
+	net, err := b.Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	opts := genclus.DefaultOptions(2)
+	opts.Seed = 5
+	res, err := genclus.Fit(net, opts)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	labels := genclus.HardLabels(res.Theta)
+	red, _ := net.IndexOf("red0")
+	blue, _ := net.IndexOf("blue0")
+	hub, _ := net.IndexOf("hub")
+	fmt.Println("red and blue separated:", labels[red] != labels[blue])
+	fmt.Println("hub joins the red camp:", labels[hub] == labels[red])
+	// Output:
+	// red and blue separated: true
+	// hub joins the red camp: true
+}
+
+// ExampleInferSchema derives the typed structure of a generated network.
+func ExampleInferSchema() {
+	ds, err := genclus.GenerateWeather(genclus.WeatherSetting1(30, 15, 1, 1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	schema, err := genclus.InferSchema(ds.Net)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(schema)
+	// Output:
+	// types: precip_sensor, temp_sensor
+	// <P,P>: precip_sensor -> precip_sensor
+	// <P,T>: precip_sensor -> temp_sensor
+	// <T,P>: temp_sensor -> precip_sensor
+	// <T,T>: temp_sensor -> temp_sensor
+}
+
+// ExampleNMI shows the renaming invariance of the evaluation metric.
+func ExampleNMI() {
+	truth := []int{0, 0, 1, 1}
+	renamed := []int{1, 1, 0, 0}
+	nmi, err := genclus.NMI(renamed, truth)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%.1f\n", nmi)
+	// Output:
+	// 1.0
+}

@@ -1,0 +1,78 @@
+// Bibliographic example (paper Example 1): detect research areas in a
+// DBLP-style author–conference–paper network where only papers carry text.
+// Authors and venues are clustered purely through their typed links, and
+// GenClus reports which relations identified a paper's area best.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"genclus"
+)
+
+func main() {
+	cfg := genclus.DefaultBiblioConfig(genclus.SchemaACP, 7)
+	cfg.NumAuthors = 400
+	cfg.NumPapers = 700
+	cfg.LabeledPapers = 80
+	ds, err := genclus.GenerateBibliographic(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := ds.Net
+	fmt.Printf("network: %s\n", net.Stats())
+
+	opts := genclus.DefaultOptions(ds.NumClusters)
+	opts.Seed = 7
+	res, err := genclus.Fit(net, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Clustering accuracy against the generator's ground truth, per type.
+	pred := genclus.HardLabels(res.Theta)
+	for _, typ := range []string{"conference", "author", "paper"} {
+		var predSub, truthSub []int
+		for _, v := range net.ObjectsOfType(typ) {
+			if lab, ok := ds.Labels[v]; ok {
+				predSub = append(predSub, pred[v])
+				truthSub = append(truthSub, lab)
+			}
+		}
+		if len(predSub) == 0 {
+			continue
+		}
+		nmi, err := genclus.NMI(predSub, truthSub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("NMI(%s) = %.4f over %d labeled objects\n", typ, nmi, len(predSub))
+	}
+
+	fmt.Println("\nlearned relation strengths:")
+	rels := append([]string(nil), net.Relations()...)
+	sort.Slice(rels, func(i, j int) bool { return res.Gamma[rels[i]] > res.Gamma[rels[j]] })
+	for _, rel := range rels {
+		fmt.Printf("  γ(%-16s) = %7.3f\n", rel, res.Gamma[rel])
+	}
+	fmt.Println("\nThe paper's headline finding shows up here: written_by (paper→author)")
+	fmt.Println("earns a much higher strength than published_by (paper→conference),")
+	fmt.Println("because venues cover broader ground than individual authors.")
+
+	// Research-area decision for a venue: print the memberships of the
+	// conferences, which carry no text at all.
+	fmt.Println("\nconference memberships (no text attribute — links only):")
+	for _, v := range net.ObjectsOfType("conference")[:5] {
+		fmt.Printf("  %-8s θ = %v\n", net.Object(v).ID, compact(res.Theta[v]))
+	}
+}
+
+func compact(theta []float64) []float64 {
+	out := make([]float64, len(theta))
+	for i, v := range theta {
+		out[i] = float64(int(v*1000+0.5)) / 1000
+	}
+	return out
+}

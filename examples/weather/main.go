@@ -1,0 +1,78 @@
+// Weather example (paper Example 2): cluster a sensor network where each
+// sensor observes only ONE of the two attributes that jointly define the
+// weather pattern — the incomplete-attribute setting the paper is built
+// around. Links are k-nearest-neighbor relations per sensor type.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"genclus"
+)
+
+func main() {
+	// Setting 2 is the hard configuration: a pattern is identifiable only
+	// from temperature AND precipitation jointly, which no sensor observes.
+	cfg := genclus.WeatherSetting2(400, 200, 5, 11)
+	ds, err := genclus.GenerateWeather(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := ds.Net
+	fmt.Printf("network: %s\n", net.Stats())
+
+	opts := genclus.DefaultOptions(ds.NumClusters)
+	opts.OuterIters = 5
+	opts.EMIters = 5
+	opts.InitSeeds = 16
+	opts.InitSeedSteps = 12
+	opts.Seed = 11
+	res, err := genclus.Fit(net, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pred := genclus.HardLabels(res.Theta)
+	var predAll, truthAll []int
+	for v, lab := range ds.Labels {
+		predAll = append(predAll, pred[v])
+		truthAll = append(truthAll, lab)
+	}
+	nmi, err := genclus.NMI(predAll, truthAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NMI against generating weather patterns: %.4f\n", nmi)
+
+	fmt.Println("\nfitted pattern components (mean per attribute and cluster):")
+	for _, am := range res.Attrs {
+		if am.Gauss == nil {
+			continue
+		}
+		fmt.Printf("  %-14s µ = %v\n", am.Name, rounded(am.Gauss.Mu))
+	}
+
+	fmt.Println("\nlearned kNN relation strengths:")
+	for _, rel := range []string{"<T,T>", "<T,P>", "<P,T>", "<P,P>"} {
+		fmt.Printf("  γ(%s) = %.3f\n", rel, res.Gamma[rel])
+	}
+	fmt.Println("\nTemperature sensors are the less noisy type in this generator, so")
+	fmt.Println("relations pointing at T-typed neighbors earn higher strengths —")
+	fmt.Println("the behaviour Table 5 of the paper reports.")
+}
+
+func rounded(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = float64(int(v*100+copysign(0.5, v))) / 100
+	}
+	return out
+}
+
+func copysign(mag, sign float64) float64 {
+	if sign < 0 {
+		return -mag
+	}
+	return mag
+}

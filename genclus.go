@@ -1,0 +1,247 @@
+// Package genclus is a from-scratch Go implementation of GenClus — the
+// relation strength-aware clustering algorithm for heterogeneous information
+// networks with incomplete attributes (Yizhou Sun, Charu C. Aggarwal, Jiawei
+// Han; PVLDB 5(5), VLDB 2012).
+//
+// GenClus clusters all objects of a typed, link-typed network into one
+// shared hidden space using a user-specified subset of attributes, and
+// simultaneously learns how much each link type should propagate cluster
+// membership. Objects may carry partial or no attribute observations: an
+// attribute-free object is clustered purely from its typed neighborhood.
+//
+// # Quick start
+//
+//	b := genclus.NewBuilder()
+//	b.DeclareAttribute(genclus.AttrSpec{Name: "text", Kind: genclus.Categorical, VocabSize: 1000})
+//	b.AddObject("paper1", "paper")
+//	b.AddObject("alice", "author")
+//	b.AddTermCount("paper1", "text", 42, 3)
+//	b.AddLink("alice", "paper1", "write", 1)
+//	b.AddLink("paper1", "alice", "written_by", 1)
+//	net, err := b.Build()
+//	...
+//	res, err := genclus.Fit(net, genclus.DefaultOptions(4))
+//	// res.Theta — soft memberships; res.Gamma — learned link-type strengths.
+//
+// The subpackages under internal implement the full reproduction of the
+// paper: the probabilistic model and the alternating EM / Newton–Raphson
+// optimizer (internal/core), the network substrate (internal/hin), the
+// numeric substrates (internal/mathx, internal/linalg, internal/stats,
+// internal/spatial), the synthetic data generators of §5.1 and Appendix C
+// (internal/datagen, internal/textgen), the comparison baselines
+// (internal/baselines), the evaluation metrics (internal/eval), and the
+// experiment harness that regenerates every table and figure
+// (internal/bench, driven by cmd/experiments).
+package genclus
+
+import (
+	"genclus/internal/core"
+	"genclus/internal/datagen"
+	"genclus/internal/eval"
+	"genclus/internal/hin"
+)
+
+// Network is an immutable heterogeneous information network: typed objects,
+// typed weighted directed links, and (possibly incomplete) attribute
+// observations. Construct one with NewBuilder or LoadNetwork.
+type Network = hin.Network
+
+// Builder incrementally assembles a Network.
+type Builder = hin.Builder
+
+// AttrSpec declares an attribute (name, kind, vocabulary size).
+type AttrSpec = hin.AttrSpec
+
+// Kind distinguishes categorical (term-count) from numeric attributes.
+type Kind = hin.Kind
+
+// Attribute kinds.
+const (
+	Categorical = hin.Categorical
+	Numeric     = hin.Numeric
+)
+
+// Edge is a typed weighted directed link between dense object indices.
+type Edge = hin.Edge
+
+// TermCount is one entry of a sparse categorical observation.
+type TermCount = hin.TermCount
+
+// NewBuilder returns an empty network builder.
+func NewBuilder() *Builder { return hin.NewBuilder() }
+
+// LoadNetwork reads a network from a JSON file produced by Network.SaveFile
+// (or by cmd/datagen).
+func LoadNetwork(path string) (*Network, error) { return hin.LoadFile(path) }
+
+// NetworkFromJSON parses a serialized network.
+func NetworkFromJSON(data []byte) (*Network, error) { return hin.FromJSON(data) }
+
+// Options configures a GenClus fit; see DefaultOptions for the
+// paper-faithful defaults.
+type Options = core.Options
+
+// Result is a fitted model: soft memberships Θ, learned link-type strengths
+// γ, fitted attribute component models, and (optionally) per-iteration
+// snapshots.
+type Result = core.Result
+
+// Snapshot is one outer-iteration state when Options.TrackHistory is set.
+type Snapshot = core.Snapshot
+
+// AttrModel is a fitted per-attribute component model.
+type AttrModel = core.AttrModel
+
+// CatParams holds fitted categorical component term distributions.
+type CatParams = core.CatParams
+
+// GaussParams holds fitted Gaussian component means and variances.
+type GaussParams = core.GaussParams
+
+// DefaultOptions returns the configuration the paper's experiments use:
+// σ = 0.1 strength prior, all-ones γ start, best-of-seeds initialization.
+func DefaultOptions(k int) Options { return core.DefaultOptions(k) }
+
+// Fit runs GenClus (Algorithm 1 of the paper): alternating cluster
+// optimization (EM over Θ and the attribute parameters) and link-type
+// strength learning (projected Newton–Raphson over γ).
+func Fit(net *Network, opts Options) (*Result, error) { return core.Fit(net, opts) }
+
+// NMI computes normalized mutual information between two labelings.
+func NMI(pred, truth []int) (float64, error) { return eval.NMI(pred, truth) }
+
+// AdjustedRandIndex computes the chance-corrected Rand index between two
+// labelings.
+func AdjustedRandIndex(pred, truth []int) (float64, error) {
+	return eval.AdjustedRandIndex(pred, truth)
+}
+
+// Purity computes the majority-class purity of a clustering against ground
+// truth (read together with NMI/ARI — it inflates as clusters split).
+func Purity(pred, truth []int) (float64, error) { return eval.Purity(pred, truth) }
+
+// HardLabels converts soft memberships to argmax cluster labels.
+func HardLabels(theta [][]float64) []int { return eval.HardLabels(theta) }
+
+// Similarity scores a (query, candidate) membership pair for link
+// prediction.
+type Similarity = eval.Similarity
+
+// Similarities returns the three membership-similarity functions the paper
+// compares: cosine, negative Euclidean distance, and the asymmetric
+// negative cross entropy −H(θ_j, θ_i).
+func Similarities() []Similarity { return eval.Similarities() }
+
+// LinkPredictionMAP ranks candidate targets of the relation for every
+// source object by membership similarity and scores the ranking against the
+// observed links with Mean Average Precision (paper §5.2.2).
+func LinkPredictionMAP(net *Network, theta [][]float64, relation string, sim Similarity) (float64, error) {
+	return eval.LinkPredictionMAP(net, theta, relation, sim)
+}
+
+// Dataset bundles a generated synthetic network with its ground truth.
+type Dataset = datagen.Dataset
+
+// WeatherConfig parameterizes the Appendix C weather sensor network
+// generator.
+type WeatherConfig = datagen.WeatherConfig
+
+// WeatherSetting1 is the paper's easy weather configuration (diagonal
+// means); WeatherSetting2 the hard one (corner means).
+func WeatherSetting1(numT, numP, numObs int, seed int64) WeatherConfig {
+	return datagen.WeatherSetting1(numT, numP, numObs, seed)
+}
+
+// WeatherSetting2 returns the paper's hard weather configuration.
+func WeatherSetting2(numT, numP, numObs int, seed int64) WeatherConfig {
+	return datagen.WeatherSetting2(numT, numP, numObs, seed)
+}
+
+// GenerateWeather builds a synthetic weather sensor network (Appendix C).
+func GenerateWeather(cfg WeatherConfig) (*Dataset, error) { return datagen.Weather(cfg) }
+
+// BiblioConfig parameterizes the DBLP-four-area-style bibliographic network
+// generator; Schema selects the AC or ACP projection.
+type BiblioConfig = datagen.BiblioConfig
+
+// Schema selects the bibliographic network projection.
+type Schema = datagen.Schema
+
+// Bibliographic schemas.
+const (
+	SchemaAC  = datagen.SchemaAC
+	SchemaACP = datagen.SchemaACP
+)
+
+// DefaultBiblioConfig returns the harness-scale bibliographic configuration.
+func DefaultBiblioConfig(schema Schema, seed int64) BiblioConfig {
+	return datagen.DefaultBiblioConfig(schema, seed)
+}
+
+// GenerateBibliographic builds a synthetic bibliographic network calibrated
+// to the DBLP four-area dataset's schema (see DESIGN.md for the
+// substitution rationale).
+func GenerateBibliographic(cfg BiblioConfig) (*Dataset, error) { return datagen.Biblio(cfg) }
+
+// SocialConfig parameterizes the YouTube-style social media generator from
+// the paper's introduction: users (partially profiled), videos (text +
+// clip-length attributes) and attribute-free comments, joined by
+// upload/like/post/friendship relations.
+type SocialConfig = datagen.SocialConfig
+
+// DefaultSocialConfig returns a moderate-size social network configuration.
+func DefaultSocialConfig(seed int64) SocialConfig { return datagen.DefaultSocialConfig(seed) }
+
+// GenerateSocial builds the social media network of the paper's
+// introduction — the one scenario that combines categorical and numeric
+// attributes, each incomplete on different object types, in a single fit.
+func GenerateSocial(cfg SocialConfig) (*Dataset, error) { return datagen.Social(cfg) }
+
+// KScore is one candidate cluster count's model-selection score.
+type KScore = core.KScore
+
+// SelectK fits the model for K in [kMin, kMax] and scores each candidate
+// with AIC and BIC — the model-selection route the paper defers to for
+// choosing the number of clusters (§2.2).
+func SelectK(net *Network, opts Options, kMin, kMax int) ([]KScore, error) {
+	return core.SelectK(net, opts, kMin, kMax)
+}
+
+// BestAIC returns the candidate with the lowest AIC (the better-behaved
+// criterion for this model; see EXPERIMENTS.md "selectk").
+func BestAIC(scores []KScore) (KScore, error) { return core.BestAIC(scores) }
+
+// BestBIC returns the candidate with the lowest BIC.
+func BestBIC(scores []KScore) (KScore, error) { return core.BestBIC(scores) }
+
+// FilterEdges derives a network with a subset of the edges (same objects,
+// relations, and observations) — the building block for held-out link
+// prediction.
+func FilterEdges(n *Network, keep func(Edge) bool) (*Network, error) {
+	return hin.FilterEdges(n, keep)
+}
+
+// NetworkSchema is the typed structure of a network (the paper's τ/φ
+// formalism made checkable).
+type NetworkSchema = hin.Schema
+
+// RelationSignature is a relation's (source type, target type) pattern.
+type RelationSignature = hin.RelationSignature
+
+// InferSchema derives the schema from a network's edges, failing when a
+// relation joins inconsistent type pairs.
+func InferSchema(n *Network) (*NetworkSchema, error) { return hin.InferSchema(n) }
+
+// ClusterSummary is the human-readable description of one fitted cluster
+// (sizes per type, top terms per categorical attribute, component means).
+type ClusterSummary = core.ClusterSummary
+
+// TermWeight is one entry of a cluster's top-term list.
+type TermWeight = core.TermWeight
+
+// LinkPredictionMAPHoldout scores out-of-sample link prediction: theta was
+// fitted on trainNet (built with FilterEdges); heldOut are the removed
+// edges of the relation.
+func LinkPredictionMAPHoldout(trainNet *Network, theta [][]float64, relation string, heldOut []Edge, sim Similarity) (float64, error) {
+	return eval.LinkPredictionMAPHoldout(trainNet, theta, relation, heldOut, sim)
+}

@@ -1,0 +1,136 @@
+package genclus_test
+
+import (
+	"math"
+	"testing"
+
+	"genclus"
+)
+
+// TestPublicAPIEndToEnd exercises the documented quick-start flow: build a
+// network through the façade, fit, inspect memberships and strengths.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	b := genclus.NewBuilder()
+	b.DeclareAttribute(genclus.AttrSpec{Name: "text", Kind: genclus.Categorical, VocabSize: 10})
+	for i := 0; i < 8; i++ {
+		id := string(rune('a' + i))
+		b.AddObject(id, "doc")
+		topic := i / 4
+		for w := 0; w < 8; w++ {
+			b.AddTermCount(id, "text", topic*5+w%5, 1)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		topic := i / 4
+		for j := topic * 4; j < topic*4+4; j++ {
+			if i != j {
+				b.AddLink(string(rune('a'+i)), string(rune('a'+j)), "cites", 1)
+			}
+		}
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := genclus.DefaultOptions(2)
+	opts.Seed = 7
+	res, err := genclus.Fit(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Theta) != net.NumObjects() {
+		t.Fatalf("theta rows = %d", len(res.Theta))
+	}
+	labels := genclus.HardLabels(res.Theta)
+	a0, _ := net.IndexOf("a")
+	e0, _ := net.IndexOf("e")
+	if labels[a0] == labels[e0] {
+		t.Error("the two topics should separate")
+	}
+	if res.Gamma["cites"] < 0 {
+		t.Error("strength must be non-negative")
+	}
+}
+
+func TestPublicGenerators(t *testing.T) {
+	wds, err := genclus.GenerateWeather(genclus.WeatherSetting1(40, 20, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wds.Net.NumObjects() != 60 {
+		t.Errorf("weather objects = %d", wds.Net.NumObjects())
+	}
+	cfg := genclus.DefaultBiblioConfig(genclus.SchemaACP, 3)
+	cfg.NumAuthors = 50
+	cfg.NumPapers = 80
+	cfg.LabeledPapers = 10
+	bds, err := genclus.GenerateBibliographic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bds.Net.ObjectsOfType("paper")) != 80 {
+		t.Errorf("papers = %d", len(bds.Net.ObjectsOfType("paper")))
+	}
+}
+
+func TestPublicMetrics(t *testing.T) {
+	nmi, err := genclus.NMI([]int{0, 0, 1, 1}, []int{1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nmi-1) > 1e-12 {
+		t.Errorf("NMI = %v", nmi)
+	}
+	sims := genclus.Similarities()
+	if len(sims) != 3 {
+		t.Fatal("expected 3 similarity functions")
+	}
+}
+
+func TestPublicSerializationRoundTrip(t *testing.T) {
+	ds, err := genclus.GenerateWeather(genclus.WeatherSetting1(20, 10, 1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/net.json"
+	if err := ds.Net.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := genclus.LoadNetwork(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumObjects() != ds.Net.NumObjects() || back.NumEdges() != ds.Net.NumEdges() {
+		t.Error("round trip changed network shape")
+	}
+	data, err := ds.Net.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := genclus.NetworkFromJSON(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicLinkPrediction(t *testing.T) {
+	ds, err := genclus.GenerateWeather(genclus.WeatherSetting1(40, 20, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := genclus.DefaultOptions(4)
+	opts.OuterIters = 2
+	opts.EMIters = 3
+	res, err := genclus.Fit(ds.Net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sim := range genclus.Similarities() {
+		mapv, err := genclus.LinkPredictionMAP(ds.Net, res.Theta, "<T,P>", sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mapv < 0 || mapv > 1 {
+			t.Errorf("%s MAP = %v", sim.Name, mapv)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"genclus/internal/eval"
+)
+
+func TestPaperKMeansOptions(t *testing.T) {
+	o := PaperKMeansOptions(4)
+	if !o.RandomInit || o.Restarts != 1 || o.K != 4 {
+		t.Errorf("PaperKMeansOptions = %+v", o)
+	}
+}
+
+func TestKMeansRandomInitSeparatesEasyBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	var points [][]float64
+	var truth []int
+	for i := 0; i < 90; i++ {
+		blob := i % 3
+		points = append(points, []float64{float64(blob*20) + rng.NormFloat64(), rng.NormFloat64()})
+		truth = append(truth, blob)
+	}
+	opts := PaperKMeansOptions(3)
+	opts.Restarts = 10 // random init needs restarts on easy-but-unlucky draws
+	res, err := KMeans(points, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmi, err := eval.NMI(res.Labels, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.95 {
+		t.Errorf("random-init kmeans NMI = %v on trivially separable blobs", nmi)
+	}
+}
+
+func TestKMeansRandomInitDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	var points [][]float64
+	for i := 0; i < 80; i++ {
+		points = append(points, []float64{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	opts := PaperKMeansOptions(4)
+	opts.Seed = 5
+	a, err := KMeans(points, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(points, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed should reproduce identical labels")
+		}
+	}
+}

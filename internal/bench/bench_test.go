@@ -1,0 +1,282 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// smokeConfig keeps experiment smoke tests fast.
+func smokeConfig() Config {
+	return Config{Scale: 0.06, Runs: 2, Seed: 5}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of §5 must have an experiment, plus the three
+	// ablations and the parallel measurement.
+	want := []string{
+		"fig5", "fig6", "table1", "fig7", "fig8", "table2", "table3",
+		"table4", "fig9", "table5", "fig10", "fig11", "parallel",
+		"ablation-asym", "ablation-gamma", "ablation-prior",
+		"selectk", "ext-holdout",
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
+	}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+	if _, ok := Get("ghost"); ok {
+		t.Error("ghost experiment should not resolve")
+	}
+}
+
+func TestRegistryMetadata(t *testing.T) {
+	for _, e := range Registry() {
+		if e.ID == "" || e.Title == "" || e.Description == "" || e.Run == nil {
+			t.Errorf("experiment %+v has incomplete metadata", e.ID)
+		}
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	c := Config{}.normalized()
+	if c.Scale != 1 || c.Runs != 20 || c.Seed != 1 {
+		t.Errorf("normalized zero config = %+v", c)
+	}
+	if (Config{Scale: 0.5}).scaled(100, 10) != 50 {
+		t.Error("scaled() wrong")
+	}
+	if (Config{Scale: 0.001}).scaled(100, 10) != 10 {
+		t.Error("scaled() floor wrong")
+	}
+}
+
+func TestReportWriteTo(t *testing.T) {
+	r := newReport("x", "title")
+	r.addf("line %d", 1)
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "x: title") || !strings.Contains(out, "line 1") {
+		t.Errorf("report rendering wrong: %q", out)
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	rep, err := Fig5(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"NetPLSA", "iTopicModel", "GenClus"} {
+		if _, ok := rep.Values[m+"/Overall/mean"]; !ok {
+			t.Errorf("missing %s overall mean", m)
+		}
+	}
+	// NMI values must be within [0, 1].
+	for key, v := range rep.Values {
+		if strings.HasSuffix(key, "/mean") && (v < 0 || v > 1) {
+			t.Errorf("%s = %v outside [0,1]", key, v)
+		}
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	rep, err := Fig6(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Values["GenClus/paper/mean"]; !ok {
+		t.Error("fig6 should slice by paper type")
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	rep, err := Table1(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Lines) < 5 {
+		t.Errorf("table1 too short: %v", rep.Lines)
+	}
+	// The broad venue should have higher membership entropy than the
+	// focused one.
+	if rep.Values["broadVenueEntropy"] < rep.Values["focusedVenueEntropy"] {
+		t.Error("broad venue should have higher entropy than focused")
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	rep, err := Fig7(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 sizes × 3 obs × 3 methods = 27 values.
+	count := 0
+	for range rep.Values {
+		count++
+	}
+	if count != 27 {
+		t.Errorf("fig7 produced %d values, want 27", count)
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	rep, err := Fig8(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Lines) != 10 { // header + 9 rows
+		t.Errorf("fig8 has %d lines", len(rep.Lines))
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	rep, err := Table2(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 sims × 3 methods.
+	if len(rep.Values) != 9 {
+		t.Errorf("table2 has %d values", len(rep.Values))
+	}
+	for key, v := range rep.Values {
+		if v < 0 || v > 1 {
+			t.Errorf("MAP %s = %v outside [0,1]", key, v)
+		}
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	rep, err := Table3(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Values) != 9 {
+		t.Errorf("table3 has %d values", len(rep.Values))
+	}
+}
+
+func TestTable4Smoke(t *testing.T) {
+	rep, err := Table4(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Values) != 3 {
+		t.Errorf("table4 has %d values", len(rep.Values))
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	rep, err := Fig9(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"AC/publish_in", "AC/coauthor", "ACP/written_by", "ACP/published_by_pc"} {
+		if _, ok := rep.Values[key]; !ok {
+			t.Errorf("fig9 missing %s", key)
+		}
+	}
+	for key, v := range rep.Values {
+		if v < 0 {
+			t.Errorf("negative strength %s = %v", key, v)
+		}
+	}
+}
+
+func TestTable5Smoke(t *testing.T) {
+	rep, err := Table5(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Values) != 12 { // 3 sizes × 4 relations
+		t.Errorf("table5 has %d values", len(rep.Values))
+	}
+}
+
+func TestFig10Smoke(t *testing.T) {
+	rep, err := Fig10(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 11 iterations (0..10), two NMI series each.
+	if _, ok := rep.Values["iter0/NMI(C)"]; !ok {
+		t.Error("fig10 missing iteration 0")
+	}
+	if _, ok := rep.Values["iter10/NMI(A)"]; !ok {
+		t.Error("fig10 missing iteration 10")
+	}
+}
+
+func TestFig11Smoke(t *testing.T) {
+	rep, err := Fig11(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Values) != 18 { // 2 settings × 3 sizes × 3 obs
+		t.Errorf("fig11 has %d values", len(rep.Values))
+	}
+	for key, v := range rep.Values {
+		if v <= 0 {
+			t.Errorf("non-positive timing %s = %v", key, v)
+		}
+	}
+}
+
+func TestParallelSmoke(t *testing.T) {
+	rep, err := Parallel(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Values["workers=4/speedup"]; !ok {
+		t.Error("parallel missing 4-worker speedup")
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	for _, run := range []func(Config) (*Report, error){AblationAsym, AblationGamma, AblationPrior} {
+		rep, err := run(smokeConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Values) == 0 {
+			t.Errorf("%s produced no values", rep.ID)
+		}
+	}
+}
+
+func TestHoldoutSmoke(t *testing.T) {
+	rep, err := Holdout(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Values) != 3 {
+		t.Errorf("ext-holdout has %d values", len(rep.Values))
+	}
+	for key, v := range rep.Values {
+		if v < 0 || v > 1 {
+			t.Errorf("holdout MAP %s = %v", key, v)
+		}
+	}
+}
+
+func TestSelectKDemoSmoke(t *testing.T) {
+	rep, err := SelectKDemo(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Values["bestK"]; !ok {
+		t.Error("selectk missing bestK")
+	}
+	for k := 2; k <= 6; k++ {
+		if _, ok := rep.Values[fmt.Sprintf("K=%d/BIC", k)]; !ok {
+			t.Errorf("selectk missing K=%d score", k)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"genclus/internal/hin"
+)
+
+// emAccum collects the per-worker sufficient statistics of one EM iteration.
+type emAccum struct {
+	// catStat[a][k][l] = Σ_v c_{v,l} p(z_{v,l} = k) for categorical attr a.
+	catStat map[int][][]float64
+	// Gaussian accumulators: weight, weighted x, weighted x².
+	gaussW, gaussWX, gaussWX2 map[int][]float64
+}
+
+func (s *state) newAccum() *emAccum {
+	acc := &emAccum{
+		catStat:  make(map[int][][]float64),
+		gaussW:   make(map[int][]float64),
+		gaussWX:  make(map[int][]float64),
+		gaussWX2: make(map[int][]float64),
+	}
+	for _, a := range s.attrs {
+		spec := s.net.Attr(a)
+		switch spec.Kind {
+		case hin.Categorical:
+			m := make([][]float64, s.opts.K)
+			for k := range m {
+				m[k] = make([]float64, spec.VocabSize)
+			}
+			acc.catStat[a] = m
+		case hin.Numeric:
+			acc.gaussW[a] = make([]float64, s.opts.K)
+			acc.gaussWX[a] = make([]float64, s.opts.K)
+			acc.gaussWX2[a] = make([]float64, s.opts.K)
+		}
+	}
+	return acc
+}
+
+func (acc *emAccum) merge(other *emAccum) {
+	for a, m := range other.catStat {
+		dst := acc.catStat[a]
+		for k := range m {
+			for l, v := range m[k] {
+				dst[k][l] += v
+			}
+		}
+	}
+	for a, w := range other.gaussW {
+		for k := range w {
+			acc.gaussW[a][k] += w[k]
+			acc.gaussWX[a][k] += other.gaussWX[a][k]
+			acc.gaussWX2[a][k] += other.gaussWX2[a][k]
+		}
+	}
+}
+
+// emIteration performs one E+M pass: responsibilities under (Θ_{t−1}, β_{t−1}),
+// then the simultaneous Θ and β updates of Eqs. 10–12 (generalized to any
+// set of categorical and Gaussian attributes). thetaOld must be a snapshot
+// of Θ_{t−1}; Θ_t is written into s.theta.
+func (s *state) emIteration(thetaOld [][]float64) {
+	n := s.net.NumObjects()
+	workers := s.opts.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	accums := make([]*emAccum, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			accums[w] = s.newAccum()
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := s.newAccum()
+			s.emRange(thetaOld, lo, hi, acc)
+			accums[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	total := accums[0]
+	for _, acc := range accums[1:] {
+		total.merge(acc)
+	}
+	s.mStepModels(total)
+}
+
+// emRange runs the E-step and Θ update for objects in [lo, hi), accumulating
+// β sufficient statistics into acc. Θ rows in the range are written in
+// place; all reads go through thetaOld, so ranges can run concurrently.
+func (s *state) emRange(thetaOld [][]float64, lo, hi int, acc *emAccum) {
+	k := s.opts.K
+	newRow := make([]float64, k)
+	resp := make([]float64, k)
+	logs := make([]float64, k)
+
+	for v := lo; v < hi; v++ {
+		for i := range newRow {
+			newRow[i] = 0
+		}
+		// Link term: Σ_{e=<v,u>} γ(φ(e)) w(e) θ_{u,k}^{t−1}.
+		for _, e := range s.net.OutEdges(v) {
+			g := s.gamma[e.Rel] * e.Weight
+			if g == 0 {
+				continue
+			}
+			tu := thetaOld[e.To]
+			for i := 0; i < k; i++ {
+				newRow[i] += g * tu[i]
+			}
+		}
+		if s.opts.SymmetricPropagation {
+			for _, ei := range s.net.InEdgeIndices(v) {
+				e := s.net.Edges()[ei]
+				g := s.gamma[e.Rel] * e.Weight
+				if g == 0 {
+					continue
+				}
+				tu := thetaOld[e.From]
+				for i := 0; i < k; i++ {
+					newRow[i] += g * tu[i]
+				}
+			}
+		}
+
+		// Attribute terms: 1{v∈V_X} Σ_obs p(z = k | obs).
+		thOld := thetaOld[v]
+		for _, a := range s.attrs {
+			switch s.net.Attr(a).Kind {
+			case hin.Categorical:
+				beta := s.cat[a].Beta
+				st := acc.catStat[a]
+				for _, tc := range s.net.TermCounts(a, v) {
+					var sum float64
+					for i := 0; i < k; i++ {
+						resp[i] = thOld[i] * beta[i][tc.Term]
+						sum += resp[i]
+					}
+					if sum <= 0 {
+						continue // term impossible under every component
+					}
+					inv := tc.Count / sum
+					for i := 0; i < k; i++ {
+						r := resp[i] * inv
+						newRow[i] += r
+						st[i][tc.Term] += r
+					}
+				}
+			case hin.Numeric:
+				gp := s.gauss[a]
+				for _, x := range s.net.NumericObs(a, v) {
+					// Log-space responsibilities guard against distant
+					// observations underflowing every component.
+					maxLog := math.Inf(-1)
+					for i := 0; i < k; i++ {
+						d := x - gp.Mu[i]
+						logs[i] = math.Log(thOld[i]) - 0.5*d*d/gp.Var[i] - 0.5*math.Log(gp.Var[i])
+						if logs[i] > maxLog {
+							maxLog = logs[i]
+						}
+					}
+					if math.IsInf(maxLog, -1) {
+						continue
+					}
+					var sum float64
+					for i := 0; i < k; i++ {
+						resp[i] = math.Exp(logs[i] - maxLog)
+						sum += resp[i]
+					}
+					for i := 0; i < k; i++ {
+						r := resp[i] / sum
+						newRow[i] += r
+						acc.gaussW[a][i] += r
+						acc.gaussWX[a][i] += r * x
+						acc.gaussWX2[a][i] += r * x * x
+					}
+				}
+			}
+		}
+
+		// Normalize into Θ_t. An object with no out-links and no
+		// observations receives no information this round: keep its row.
+		var mass float64
+		for _, x := range newRow {
+			mass += x
+		}
+		dst := s.theta[v]
+		if mass <= 0 || math.IsNaN(mass) || math.IsInf(mass, 0) {
+			copy(dst, thOld)
+			continue
+		}
+		for i := 0; i < k; i++ {
+			x := newRow[i] / mass
+			if x < s.opts.Epsilon || math.IsNaN(x) {
+				x = s.opts.Epsilon
+			}
+			dst[i] = x
+		}
+		// Re-normalize after flooring.
+		var sum float64
+		for _, x := range dst {
+			sum += x
+		}
+		for i := range dst {
+			dst[i] /= sum
+		}
+	}
+}
+
+// mStepModels applies the β updates from the accumulated sufficient
+// statistics (Eq. 10 for categorical, Eqs. 11–12 for Gaussians).
+func (s *state) mStepModels(acc *emAccum) {
+	for a, st := range acc.catStat {
+		beta := s.cat[a].Beta
+		vocab := len(beta[0])
+		eta := s.opts.SmoothEta
+		for k := range beta {
+			var sum float64
+			for l := 0; l < vocab; l++ {
+				sum += st[k][l] + eta
+			}
+			if sum <= 0 {
+				continue // no evidence for this cluster at all: keep β_k
+			}
+			for l := 0; l < vocab; l++ {
+				beta[k][l] = (st[k][l] + eta) / sum
+			}
+		}
+	}
+	for a, w := range acc.gaussW {
+		gp := s.gauss[a]
+		for k := range w {
+			if w[k] <= 1e-12 {
+				continue // dead component: keep previous parameters
+			}
+			mu := acc.gaussWX[a][k] / w[k]
+			variance := acc.gaussWX2[a][k]/w[k] - mu*mu
+			if variance < s.opts.VarFloor {
+				variance = s.opts.VarFloor
+			}
+			gp.Mu[k] = mu
+			gp.Var[k] = variance
+		}
+	}
+}
+
+// runEM executes up to `iters` EM iterations (one cluster-optimization step
+// of Algorithm 1), stopping early once Θ moves less than opts.EMTol between
+// iterations. It returns the number of iterations actually run.
+func (s *state) runEM(iters int) int {
+	for t := 0; t < iters; t++ {
+		old := cloneTheta(s.theta)
+		s.emIteration(old)
+		if s.opts.EMTol > 0 {
+			var move float64
+			for v, row := range s.theta {
+				for k, x := range row {
+					if d := math.Abs(x - old[v][k]); d > move {
+						move = d
+					}
+				}
+			}
+			if move < s.opts.EMTol {
+				return t + 1
+			}
+		}
+	}
+	return iters
+}

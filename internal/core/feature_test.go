@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"genclus/internal/hin"
+)
+
+// featureValue computes f(θ_i, θ_j, e, γ) = γ·w·Σ_k θ_jk·log θ_ik (Eq. 6)
+// exactly as featureSum does per edge; exposed here for direct property
+// tests of the three desiderata in §3.3.
+func featureValue(thetaI, thetaJ []float64, gamma, w float64) float64 {
+	var ce float64
+	for k := range thetaI {
+		ce += thetaJ[k] * math.Log(thetaI[k])
+	}
+	return gamma * w * ce
+}
+
+// TestFeatureFunctionFig4 reproduces the worked example of Fig. 4: the
+// seven-object bibliographic fragment with membership vectors given in the
+// paper and the three computed feature values (±1e-4 as printed).
+func TestFeatureFunctionFig4(t *testing.T) {
+	theta1 := []float64{5.0 / 6, 1.0 / 12, 1.0 / 12}
+	theta3 := []float64{7.0 / 8, 1.0 / 16, 1.0 / 16}
+	theta4 := []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	theta5 := []float64{1.0 / 16, 1.0 / 16, 7.0 / 8}
+
+	cases := []struct {
+		name   string
+		i, j   []float64
+		expect float64
+	}{
+		{"f(<1,3>)", theta1, theta3, -0.4701},
+		{"f(<1,4>)", theta1, theta4, -1.7174},
+		{"f(<1,5>)", theta1, theta5, -2.3410},
+		{"f(<4,1>)", theta4, theta1, -1.0986},
+	}
+	for _, c := range cases {
+		got := featureValue(c.i, c.j, 1, 1)
+		if math.Abs(got-c.expect) > 1e-4 {
+			t.Errorf("%s = %.4f, want %.4f", c.name, got, c.expect)
+		}
+	}
+	// Paper's ordering claim: f(<1,3>) ≥ f(<1,4>) ≥ f(<1,5>).
+	if !(featureValue(theta1, theta3, 1, 1) >= featureValue(theta1, theta4, 1, 1) &&
+		featureValue(theta1, theta4, 1, 1) >= featureValue(theta1, theta5, 1, 1)) {
+		t.Error("similarity ordering violated")
+	}
+	// Asymmetry claim: f(<1,4>) < f(<4,1>) even with equal strengths.
+	if !(featureValue(theta1, theta4, 1, 1) < featureValue(theta4, theta1, 1, 1)) {
+		t.Error("asymmetry f(<1,4>) < f(<4,1>) violated")
+	}
+}
+
+// Desideratum 1: f increases with similarity of θ_i and θ_j — maximal over
+// θ_j at θ_j = point mass on argmax θ_i... the paper's criterion is that f
+// grows as the vectors agree; we test that f(θ, θ) ≥ f(θ, q) for q obtained
+// by moving mass away from θ's dominant component.
+func TestFeatureSimilarityMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		theta := randSimplex(rng, 4)
+		// Perturb q away from theta's argmax.
+		q := append([]float64(nil), theta...)
+		hi, lo := argmax(q), argmin(q)
+		shift := q[hi] * rng.Float64() * 0.9
+		q[hi] -= shift
+		q[lo] += shift
+		if featureValue(theta, theta, 1, 1) < featureValue(theta, q, 1, 1)-1e-12 {
+			t.Fatalf("f(θ,θ) < f(θ,q): θ=%v q=%v", theta, q)
+		}
+	}
+}
+
+// Desideratum 2: f decreases (more negative) as γ or w grows, for any fixed
+// pair of distinct distributions (cross entropy is positive).
+func TestFeatureStrengthMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ti := randSimplex(rng, 3)
+		tj := randSimplex(rng, 3)
+		g1, g2 := 0.5+rng.Float64(), 1.5+rng.Float64()
+		w1, w2 := 0.5+rng.Float64(), 1.5+rng.Float64()
+		base := featureValue(ti, tj, g1, w1)
+		moreGamma := featureValue(ti, tj, g2, w1)
+		moreWeight := featureValue(ti, tj, g1, w2)
+		return moreGamma <= base+1e-12 && moreWeight <= base+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Desideratum 3: f is not symmetric in its first two arguments.
+func TestFeatureAsymmetry(t *testing.T) {
+	ti := []float64{0.8, 0.1, 0.1}
+	tj := []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	if featureValue(ti, tj, 1, 1) == featureValue(tj, ti, 1, 1) {
+		t.Error("feature function should be asymmetric for these vectors")
+	}
+}
+
+// f is always non-positive for γ, w ≥ 0 (log of probabilities).
+func TestFeatureNonPositive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ti := randSimplex(rng, 5)
+		tj := randSimplex(rng, 5)
+		return featureValue(ti, tj, rng.Float64()*10, rng.Float64()*10) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randSimplex(rng *rand.Rand, k int) []float64 {
+	v := make([]float64, k)
+	var sum float64
+	for i := range v {
+		v[i] = rng.Float64() + 0.01
+		sum += v[i]
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+	return v
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i := range v {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func argmin(v []float64) int {
+	best := 0
+	for i := range v {
+		if v[i] < v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// featureSum over a tiny network must equal the hand-computed edge sum.
+func TestFeatureSumMatchesManual(t *testing.T) {
+	b := hin.NewBuilder()
+	b.AddObject("x", "t")
+	b.AddObject("y", "t")
+	b.AddLink("x", "y", "r1", 2)
+	b.AddLink("y", "x", "r2", 3)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(2)
+	s := newState(net, opts, 7, false)
+	x, _ := net.IndexOf("x")
+	y, _ := net.IndexOf("y")
+	s.theta[x][0], s.theta[x][1] = 0.7, 0.3
+	s.theta[y][0], s.theta[y][1] = 0.2, 0.8
+	r1, _ := net.RelationID("r1")
+	r2, _ := net.RelationID("r2")
+	gamma := make([]float64, 2)
+	gamma[r1], gamma[r2] = 1.5, 0.5
+
+	want := featureValue(s.theta[x], s.theta[y], gamma[r1], 2) +
+		featureValue(s.theta[y], s.theta[x], gamma[r2], 3)
+	got := s.featureSum(gamma)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("featureSum = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"genclus/internal/hin"
+)
+
+// Snapshot captures the model after one outer iteration (used to regenerate
+// Fig. 10: accuracy and strengths over iterations).
+type Snapshot struct {
+	Iter  int
+	Gamma []float64
+	Theta [][]float64
+	G1    float64 // cluster-optimization objective after the EM step
+	G2    float64 // pseudo-log-likelihood after the strength step
+}
+
+// Result is a fitted GenClus model.
+type Result struct {
+	// K is the number of clusters.
+	K int
+	// Theta is the |V|×K soft membership matrix Θ.
+	Theta [][]float64
+	// Gamma maps relation name → learned strength γ(r).
+	Gamma map[string]float64
+	// GammaVec is γ indexed by the network's dense relation ids.
+	GammaVec []float64
+	// Attrs holds the fitted per-attribute component models β.
+	Attrs []AttrModel
+	// Objective is the final g₁ value (Eq. 9).
+	Objective float64
+	// PseudoLL is the final g′₂ value (Eq. 14).
+	PseudoLL float64
+	// History has one snapshot per outer iteration when
+	// Options.TrackHistory is set (Snapshot.Iter starts at 0 = initial
+	// state, mirroring Fig. 10 which plots the all-one γ at iteration 0).
+	History []Snapshot
+}
+
+// Fit runs GenClus (Algorithm 1) on the network.
+func Fit(net *hin.Network, opts Options) (*Result, error) {
+	if err := opts.validate(net); err != nil {
+		return nil, err
+	}
+	s := initializeState(net, opts)
+
+	var history []Snapshot
+	if opts.TrackHistory {
+		history = append(history, Snapshot{
+			Iter:  0,
+			Gamma: append([]float64(nil), s.gamma...),
+			Theta: cloneTheta(s.theta),
+			G1:    s.objectiveG1(),
+		})
+	}
+
+	var g2 float64
+	for outer := 0; outer < opts.OuterIters; outer++ {
+		prevGamma := append([]float64(nil), s.gamma...)
+		// Step 1: cluster optimization (EM on Θ, β with γ fixed).
+		s.runEM(opts.EMIters)
+		// Step 2: link-type strength learning (Newton on γ with Θ fixed).
+		if opts.LearnGamma {
+			g2 = s.learnStrengths()
+		} else {
+			g2 = s.buildStrengthStats().pseudoLogLikelihood(s.gamma, opts.PriorSigma)
+		}
+		if opts.TrackHistory {
+			history = append(history, Snapshot{
+				Iter:  outer + 1,
+				Gamma: append([]float64(nil), s.gamma...),
+				Theta: cloneTheta(s.theta),
+				G1:    s.objectiveG1(),
+				G2:    g2,
+			})
+		}
+		// Algorithm 1's outer "precision requirement for γ".
+		if opts.OuterTol > 0 && outer > 0 {
+			var move float64
+			for r, g := range s.gamma {
+				if d := math.Abs(g - prevGamma[r]); d > move {
+					move = d
+				}
+			}
+			if move < opts.OuterTol {
+				break
+			}
+		}
+	}
+
+	res := &Result{
+		K:         opts.K,
+		Theta:     cloneTheta(s.theta),
+		Gamma:     make(map[string]float64, net.NumRelations()),
+		GammaVec:  append([]float64(nil), s.gamma...),
+		Attrs:     s.snapshotModels(),
+		Objective: s.objectiveG1(),
+		PseudoLL:  g2,
+		History:   history,
+	}
+	for r := 0; r < net.NumRelations(); r++ {
+		res.Gamma[net.RelationName(r)] = s.gamma[r]
+	}
+	return res, nil
+}
+
+// initializeState applies the §4.3 initialization policy: either a single
+// random start, or best-of-seeds (run a few EM steps from several random
+// starts and keep the one with the highest g₁).
+func initializeState(net *hin.Network, opts Options) *state {
+	if opts.InitSeeds <= 1 || opts.InitTheta != nil {
+		return newState(net, opts, opts.Seed, false)
+	}
+	var best *state
+	bestG1 := math.Inf(-1)
+	for i := 0; i < opts.InitSeeds; i++ {
+		// Seed 0 keeps the sorted quantile seeding of Gaussian components
+		// (ideal when attributes vary monotonically together); later seeds
+		// permute component means per attribute to explore other pairings.
+		cand := newState(net, opts, opts.Seed+int64(i)*1_000_003, i > 0)
+		cand.runEM(opts.InitSeedSteps)
+		if g1 := cand.objectiveG1(); g1 > bestG1 {
+			bestG1 = g1
+			best = cand
+		}
+	}
+	return best
+}
+
+// HardLabels converts soft memberships to argmax cluster labels.
+func (r *Result) HardLabels() []int {
+	out := make([]int, len(r.Theta))
+	for v, row := range r.Theta {
+		best := 0
+		for k := 1; k < len(row); k++ {
+			if row[k] > row[best] {
+				best = k
+			}
+		}
+		out[v] = best
+	}
+	return out
+}
+
+// MembershipOf returns the Θ row of the object with the given dense index.
+func (r *Result) MembershipOf(v int) []float64 {
+	if v < 0 || v >= len(r.Theta) {
+		return nil
+	}
+	return r.Theta[v]
+}
+
+// String summarizes the fit.
+func (r *Result) String() string {
+	return fmt.Sprintf("GenClus(K=%d, |V|=%d, g1=%.4g, gamma=%v)", r.K, len(r.Theta), r.Objective, r.Gamma)
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"genclus/internal/hin"
+	"genclus/internal/mathx"
+)
+
+// TestEq10ThetaUpdateByHand verifies one EM iteration against the paper's
+// Eq. (10) computed by hand on a two-object network:
+//
+//	θ_vk ∝ Σ_{e=<v,u>} γ(φ(e))·w(e)·θ_{u,k}^{t−1}
+//	       + 1{v∈V_X} Σ_l c_{v,l}·p(z_{v,l} = k | Θ^{t−1}, β^{t−1})
+//
+// with p(z_{v,l} = k) ∝ θ_{v,k}^{t−1}·β_{k,l}.
+func TestEq10ThetaUpdateByHand(t *testing.T) {
+	b := hin.NewBuilder()
+	b.DeclareAttribute(hin.AttrSpec{Name: "text", Kind: hin.Categorical, VocabSize: 2})
+	b.AddObject("x", "t")
+	b.AddObject("y", "t")
+	// x has 3 counts of term 0 and 1 count of term 1, and one out-link to y
+	// with weight 2.
+	b.AddTermCount("x", "text", 0, 3)
+	b.AddTermCount("x", "text", 1, 1)
+	b.AddLink("x", "y", "r", 2)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(2)
+	opts.Epsilon = 1e-12 // keep flooring negligible for the hand computation
+	s := newState(net, opts, 1, false)
+
+	x, _ := net.IndexOf("x")
+	y, _ := net.IndexOf("y")
+	r, _ := net.RelationID("r")
+	// Fix every quantity by hand.
+	s.theta[x][0], s.theta[x][1] = 0.6, 0.4
+	s.theta[y][0], s.theta[y][1] = 0.2, 0.8
+	a, _ := net.AttrID("text")
+	s.cat[a].Beta[0][0], s.cat[a].Beta[0][1] = 0.9, 0.1 // cluster 0 prefers term 0
+	s.cat[a].Beta[1][0], s.cat[a].Beta[1][1] = 0.3, 0.7
+	gamma := 1.5
+	s.gamma[r] = gamma
+
+	// Hand computation.
+	// Responsibilities for term 0: p(z=k) ∝ θ_xk·β_k0 → (0.6·0.9, 0.4·0.3)
+	// = (0.54, 0.12) → (0.8182, 0.1818).
+	r00 := 0.54 / 0.66
+	r01 := 0.12 / 0.66
+	// Term 1: (0.6·0.1, 0.4·0.7) = (0.06, 0.28) → (0.1765, 0.8235).
+	r10 := 0.06 / 0.34
+	r11 := 0.28 / 0.34
+	// Link term: γ·w·θ_y = 1.5·2·(0.2, 0.8) = (0.6, 2.4).
+	link0, link1 := gamma*2*0.2, gamma*2*0.8
+	// Attribute term: c_0·resp + c_1·resp = 3·(r00, r01) + 1·(r10, r11).
+	attr0 := 3*r00 + 1*r10
+	attr1 := 3*r01 + 1*r11
+	w0 := link0 + attr0
+	w1 := link1 + attr1
+	want0 := w0 / (w0 + w1)
+	want1 := w1 / (w0 + w1)
+
+	s.emIteration(cloneTheta(s.theta))
+	if math.Abs(s.theta[x][0]-want0) > 1e-9 || math.Abs(s.theta[x][1]-want1) > 1e-9 {
+		t.Errorf("Eq.10 update: θ_x = (%v, %v), hand computation (%v, %v)",
+			s.theta[x][0], s.theta[x][1], want0, want1)
+	}
+	// y has no out-links and no attributes: its row must be unchanged.
+	if s.theta[y][0] != 0.2 || s.theta[y][1] != 0.8 {
+		t.Errorf("θ_y should be unchanged, got %v", s.theta[y])
+	}
+}
+
+// TestEq14PseudoLikelihoodByHand verifies g′₂ (Eq. 14) on a one-patch
+// network: a single object with two out-links. The local conditional is
+// Dirichlet with α_k = Σ_e γ·w(e)·θ_{j,k} + 1 (Eq. 15), so
+//
+//	g′₂(γ) = Σ_e γ·w(e)·Σ_k θ_{j,k}·ln θ_{i,k} − ln B(α) − γ²/(2σ²).
+func TestEq14PseudoLikelihoodByHand(t *testing.T) {
+	b := hin.NewBuilder()
+	b.AddObject("i", "t")
+	b.AddObject("j1", "t")
+	b.AddObject("j2", "t")
+	b.AddLink("i", "j1", "r", 1.5)
+	b.AddLink("i", "j2", "r", 0.5)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(2)
+	s := newState(net, opts, 1, false)
+	i, _ := net.IndexOf("i")
+	j1, _ := net.IndexOf("j1")
+	j2, _ := net.IndexOf("j2")
+	s.theta[i][0], s.theta[i][1] = 0.7, 0.3
+	s.theta[j1][0], s.theta[j1][1] = 0.9, 0.1
+	s.theta[j2][0], s.theta[j2][1] = 0.4, 0.6
+
+	gamma := 1.2
+	sigma := opts.PriorSigma
+
+	// Hand computation.
+	f1 := gamma * 1.5 * (0.9*math.Log(0.7) + 0.1*math.Log(0.3))
+	f2 := gamma * 0.5 * (0.4*math.Log(0.7) + 0.6*math.Log(0.3))
+	alpha0 := gamma*(1.5*0.9+0.5*0.4) + 1
+	alpha1 := gamma*(1.5*0.1+0.5*0.6) + 1
+	want := f1 + f2 - mathx.LogBeta([]float64{alpha0, alpha1}) - gamma*gamma/(2*sigma*sigma)
+
+	st := s.buildStrengthStats()
+	got := st.pseudoLogLikelihood([]float64{gamma}, sigma)
+	if math.Abs(got-want) > 1e-10*math.Max(1, math.Abs(want)) {
+		t.Errorf("Eq.14: g2 = %v, hand computation %v", got, want)
+	}
+}
+
+// TestEq16GradientByHand verifies the gradient formula (Eq. 16) on the same
+// one-patch network:
+//
+//	∇g′₂(r) = Σ_e w·Σ_k θ_jk·ln θ_ik − (Σ_k ψ(α_k)·S_k − ψ(Σ_k α_k)·S) − γ/σ².
+func TestEq16GradientByHand(t *testing.T) {
+	b := hin.NewBuilder()
+	b.AddObject("i", "t")
+	b.AddObject("j", "t")
+	b.AddLink("i", "j", "r", 2)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(2)
+	s := newState(net, opts, 1, false)
+	i, _ := net.IndexOf("i")
+	j, _ := net.IndexOf("j")
+	s.theta[i][0], s.theta[i][1] = 0.8, 0.2
+	s.theta[j][0], s.theta[j][1] = 0.25, 0.75
+
+	gamma := 0.9
+	sigma := opts.PriorSigma
+	// Hand computation.
+	F := 2 * (0.25*math.Log(0.8) + 0.75*math.Log(0.2))
+	s0 := 2 * 0.25 // S_k = w·θ_jk
+	s1 := 2 * 0.75
+	alpha0 := gamma*s0 + 1
+	alpha1 := gamma*s1 + 1
+	want := F - (mathx.Digamma(alpha0)*s0 + mathx.Digamma(alpha1)*s1 -
+		mathx.Digamma(alpha0+alpha1)*(s0+s1)) - gamma/(sigma*sigma)
+
+	st := s.buildStrengthStats()
+	grad, _ := st.gradHess([]float64{gamma}, sigma)
+	if math.Abs(grad[0]-want) > 1e-10*math.Max(1, math.Abs(want)) {
+		t.Errorf("Eq.16: gradient = %v, hand computation %v", grad[0], want)
+	}
+}

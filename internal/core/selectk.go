@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"genclus/internal/hin"
+)
+
+// KScore is the model-selection score of one candidate cluster count.
+type KScore struct {
+	K         int
+	Objective float64 // final g₁ (Eq. 9)
+	LogLik    float64 // attribute log-likelihood only
+	Params    int     // free parameters counted for the penalty
+	AIC       float64
+	BIC       float64
+}
+
+// SelectK fits the model for every K in [kMin, kMax] and scores each fit
+// with AIC and BIC — the model-selection criteria the paper points to for
+// choosing the number of clusters (§2.2 cites [19, 12]; the paper itself
+// fixes K and leaves selection to these standard tools).
+//
+// The likelihood used is the attribute-generation term (the probabilistic
+// part of the model with a proper normalizer); parameters counted are the
+// attribute component parameters plus the K−1 free membership coordinates
+// per object. Lower AIC/BIC is better. Both criteria inherit the usual
+// caveats for latent-variable models; they order candidate K values
+// usefully in practice, which is all the paper asks of them.
+func SelectK(net *hin.Network, opts Options, kMin, kMax int) ([]KScore, error) {
+	if kMin < 2 {
+		return nil, fmt.Errorf("core: SelectK needs kMin ≥ 2, got %d", kMin)
+	}
+	if kMax < kMin {
+		return nil, fmt.Errorf("core: SelectK needs kMax ≥ kMin, got %d < %d", kMax, kMin)
+	}
+	var out []KScore
+	for k := kMin; k <= kMax; k++ {
+		o := opts
+		o.K = k
+		res, err := Fit(net, o)
+		if err != nil {
+			return nil, fmt.Errorf("core: SelectK at K=%d: %w", k, err)
+		}
+		// Recompute the attribute likelihood and observation count from the
+		// fitted model.
+		s := newState(net, o, o.Seed, false)
+		s.theta = res.Theta
+		for i, a := range s.attrs {
+			am := res.Attrs[i]
+			switch am.Kind {
+			case hin.Categorical:
+				s.cat[a] = am.Cat
+			case hin.Numeric:
+				s.gauss[a] = am.Gauss
+			}
+		}
+		ll := s.attrLogLikelihood()
+
+		params := net.NumObjects() * (k - 1)
+		var nObs float64
+		for _, a := range s.attrs {
+			spec := net.Attr(a)
+			switch spec.Kind {
+			case hin.Categorical:
+				params += k * (spec.VocabSize - 1)
+			case hin.Numeric:
+				params += 2 * k
+			}
+			for v := 0; v < net.NumObjects(); v++ {
+				nObs += net.ObservationCount(a, v)
+			}
+		}
+		if nObs < 1 {
+			nObs = 1
+		}
+		out = append(out, KScore{
+			K:         k,
+			Objective: res.Objective,
+			LogLik:    ll,
+			Params:    params,
+			AIC:       -2*ll + 2*float64(params),
+			BIC:       -2*ll + float64(params)*math.Log(nObs),
+		})
+	}
+	return out, nil
+}
+
+// BestBIC returns the score with the lowest BIC.
+func BestBIC(scores []KScore) (KScore, error) {
+	if len(scores) == 0 {
+		return KScore{}, fmt.Errorf("core: no scores")
+	}
+	best := scores[0]
+	for _, s := range scores[1:] {
+		if s.BIC < best.BIC {
+			best = s
+		}
+	}
+	return best, nil
+}
+
+// BestAIC returns the score with the lowest AIC. For this model's
+// conditional likelihood AIC is usually the better-behaved criterion: BIC's
+// ln(n) factor over-punishes the |V|·(K−1) membership parameters and tends
+// to under-select K.
+func BestAIC(scores []KScore) (KScore, error) {
+	if len(scores) == 0 {
+		return KScore{}, fmt.Errorf("core: no scores")
+	}
+	best := scores[0]
+	for _, s := range scores[1:] {
+		if s.AIC < best.AIC {
+			best = s
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"genclus/internal/hin"
+)
+
+// randomLinkedState builds a random network with two relations and a random
+// membership matrix, for derivative and concavity checks.
+func randomLinkedState(t *testing.T, seed int64, nObj int) *state {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := hin.NewBuilder()
+	ids := make([]string, nObj)
+	for i := 0; i < nObj; i++ {
+		ids[i] = "o" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		b.AddObject(ids[i], "t")
+	}
+	rels := []string{"r0", "r1"}
+	for i := 0; i < nObj*3; i++ {
+		from, to := rng.Intn(nObj), rng.Intn(nObj)
+		if from == to {
+			continue
+		}
+		b.AddLink(ids[from], ids[to], rels[rng.Intn(2)], 0.2+2*rng.Float64())
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(3)
+	s := newState(net, opts, seed, false)
+	for v := range s.theta {
+		copy(s.theta[v], randSimplex(rng, 3))
+	}
+	return s
+}
+
+// TestStrengthGradientFiniteDifference verifies Eq. 16 against a central
+// finite difference of the pseudo-log-likelihood (Eq. 14).
+func TestStrengthGradientFiniteDifference(t *testing.T) {
+	for _, seed := range []int64{41, 42, 43} {
+		s := randomLinkedState(t, seed, 25)
+		st := s.buildStrengthStats()
+		rng := rand.New(rand.NewSource(seed + 100))
+		gamma := []float64{0.5 + rng.Float64(), 0.5 + rng.Float64()}
+		grad, _ := st.gradHess(gamma, s.opts.PriorSigma)
+		const h = 1e-6
+		for r := range gamma {
+			gp := append([]float64(nil), gamma...)
+			gm := append([]float64(nil), gamma...)
+			gp[r] += h
+			gm[r] -= h
+			fd := (st.pseudoLogLikelihood(gp, s.opts.PriorSigma) -
+				st.pseudoLogLikelihood(gm, s.opts.PriorSigma)) / (2 * h)
+			if math.Abs(fd-grad[r]) > 1e-3*math.Max(1, math.Abs(fd)) {
+				t.Errorf("seed %d: ∂g2/∂γ%d = %v, finite diff %v", seed, r, grad[r], fd)
+			}
+		}
+	}
+}
+
+// TestStrengthHessianFiniteDifference verifies Eq. 17 against finite
+// differences of the gradient.
+func TestStrengthHessianFiniteDifference(t *testing.T) {
+	s := randomLinkedState(t, 47, 25)
+	st := s.buildStrengthStats()
+	gamma := []float64{1.2, 0.8}
+	_, hess := st.gradHess(gamma, s.opts.PriorSigma)
+	const h = 1e-5
+	for r1 := 0; r1 < 2; r1++ {
+		gp := append([]float64(nil), gamma...)
+		gm := append([]float64(nil), gamma...)
+		gp[r1] += h
+		gm[r1] -= h
+		gradP, _ := st.gradHess(gp, s.opts.PriorSigma)
+		gradM, _ := st.gradHess(gm, s.opts.PriorSigma)
+		for r2 := 0; r2 < 2; r2++ {
+			fd := (gradP[r2] - gradM[r2]) / (2 * h)
+			if math.Abs(fd-hess.At(r1, r2)) > 1e-2*math.Max(1, math.Abs(fd)) {
+				t.Errorf("H[%d][%d] = %v, finite diff %v", r1, r2, hess.At(r1, r2), fd)
+			}
+		}
+	}
+}
+
+// TestStrengthHessianSymmetricNegDef: Appendix B proves Hg′₂ is negative
+// definite; verify both properties numerically.
+func TestStrengthHessianSymmetricNegDef(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 10; trial++ {
+		s := randomLinkedState(t, int64(60+trial), 20)
+		st := s.buildStrengthStats()
+		gamma := []float64{rng.Float64() * 2, rng.Float64() * 2}
+		_, hess := st.gradHess(gamma, s.opts.PriorSigma)
+		if !hess.IsSymmetric(1e-9) {
+			t.Fatal("Hessian not symmetric")
+		}
+		// xᵀHx < 0 for random x ≠ 0.
+		for probe := 0; probe < 20; probe++ {
+			x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+			hx := hess.MulVec(x)
+			quad := x[0]*hx[0] + x[1]*hx[1]
+			if quad >= 0 {
+				t.Fatalf("Hessian not negative definite: xᵀHx = %v", quad)
+			}
+		}
+	}
+}
+
+// TestPseudoLikelihoodConcaveAlongLines: g′₂ restricted to any segment in
+// the positive orthant must be concave (second differences ≤ 0).
+func TestPseudoLikelihoodConcaveAlongLines(t *testing.T) {
+	s := randomLinkedState(t, 71, 30)
+	st := s.buildStrengthStats()
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 30; trial++ {
+		a := []float64{rng.Float64() * 3, rng.Float64() * 3}
+		d := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		vals := make([]float64, 11)
+		feasible := true
+		for i := range vals {
+			tt := float64(i) / 10
+			g := []float64{a[0] + tt*d[0], a[1] + tt*d[1]}
+			if g[0] < 0 || g[1] < 0 {
+				feasible = false
+				break
+			}
+			vals[i] = st.pseudoLogLikelihood(g, s.opts.PriorSigma)
+		}
+		if !feasible {
+			continue
+		}
+		for i := 1; i < len(vals)-1; i++ {
+			second := vals[i+1] - 2*vals[i] + vals[i-1]
+			if second > 1e-8*math.Max(1, math.Abs(vals[i])) {
+				t.Fatalf("non-concave second difference %v at %d", second, i)
+			}
+		}
+	}
+}
+
+// TestLearnStrengthsPrefersConsistentRelation is the behavioural heart of
+// the paper: a relation that links objects with near-identical memberships
+// must earn a higher strength than one linking random objects.
+func TestLearnStrengthsPrefersConsistentRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	b := hin.NewBuilder()
+	const n = 60
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = "s" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		b.AddObject(ids[i], "t")
+	}
+	// Two planted groups: objects 0..29 in cluster 0, 30..59 in cluster 1.
+	group := func(i int) int { return i / 30 }
+	// "consistent" links stay within a group; "noisy" links are random.
+	for i := 0; i < n; i++ {
+		for c := 0; c < 3; c++ {
+			j := rng.Intn(30) + group(i)*30
+			if j != i {
+				b.AddLink(ids[i], ids[j], "consistent", 1)
+			}
+			j = rng.Intn(n)
+			if j != i {
+				b.AddLink(ids[i], ids[j], "noisy", 1)
+			}
+		}
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(2)
+	s := newState(net, opts, 82, false)
+	for v := range s.theta {
+		if group(v) == 0 {
+			s.theta[v][0], s.theta[v][1] = 0.95, 0.05
+		} else {
+			s.theta[v][0], s.theta[v][1] = 0.05, 0.95
+		}
+	}
+	s.learnStrengths()
+	cons, _ := net.RelationID("consistent")
+	noisy, _ := net.RelationID("noisy")
+	if !(s.gamma[cons] > s.gamma[noisy]) {
+		t.Errorf("γ(consistent)=%v should exceed γ(noisy)=%v", s.gamma[cons], s.gamma[noisy])
+	}
+	if s.gamma[noisy] < 0 || s.gamma[cons] < 0 {
+		t.Error("strengths must be non-negative")
+	}
+}
+
+// TestLearnStrengthsIncreasesPseudoLikelihood: the Newton loop must not
+// decrease g′₂ relative to the all-ones start.
+func TestLearnStrengthsIncreasesPseudoLikelihood(t *testing.T) {
+	for _, seed := range []int64{91, 92, 93} {
+		s := randomLinkedState(t, seed, 40)
+		st := s.buildStrengthStats()
+		before := st.pseudoLogLikelihood(s.gamma, s.opts.PriorSigma)
+		after := s.learnStrengths()
+		if after < before-1e-9 {
+			t.Errorf("seed %d: g2 decreased %v → %v", seed, before, after)
+		}
+		// And the returned value matches re-evaluation at the final γ.
+		if math.Abs(after-st.pseudoLogLikelihood(s.gamma, s.opts.PriorSigma)) > 1e-9*math.Max(1, math.Abs(after)) {
+			t.Errorf("seed %d: returned g2 inconsistent", seed)
+		}
+	}
+}
+
+// TestLearnStrengthsProjection: strengths never go negative even when the
+// unconstrained optimum would.
+func TestLearnStrengthsProjection(t *testing.T) {
+	// A relation linking maximally dissimilar objects wants γ < 0; the
+	// projection must clamp it to 0.
+	b := hin.NewBuilder()
+	b.AddObject("x", "t")
+	b.AddObject("y", "t")
+	b.AddLink("x", "y", "bad", 5)
+	b.AddLink("y", "x", "bad", 5)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(2)
+	s := newState(net, opts, 99, false)
+	x, _ := net.IndexOf("x")
+	y, _ := net.IndexOf("y")
+	s.theta[x][0], s.theta[x][1] = 0.999, 0.001
+	s.theta[y][0], s.theta[y][1] = 0.001, 0.999
+	s.learnStrengths()
+	bad, _ := net.RelationID("bad")
+	if s.gamma[bad] < 0 {
+		t.Errorf("γ went negative: %v", s.gamma[bad])
+	}
+	// With such dissimilar endpoints the learned strength should be tiny.
+	if s.gamma[bad] > 0.5 {
+		t.Errorf("γ(bad) = %v, expected to be pushed toward 0", s.gamma[bad])
+	}
+}
+
+// TestStrengthStatsSkipSinkObjects: objects with no out-links must not
+// contribute rows.
+func TestStrengthStatsSkipSinkObjects(t *testing.T) {
+	b := hin.NewBuilder()
+	b.AddObject("a", "t")
+	b.AddObject("b", "t")
+	b.AddObject("sink", "t")
+	b.AddLink("a", "sink", "r", 1)
+	b.AddLink("b", "sink", "r", 1)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newState(net, DefaultOptions(2), 1, false)
+	st := s.buildStrengthStats()
+	if len(st.objs) != 2 {
+		t.Errorf("expected 2 contributing objects, got %d", len(st.objs))
+	}
+}
+
+// TestAlphaAlwaysValid: α_ik = Σ γ w θ + 1 ≥ 1 keeps LogBeta finite for any
+// non-negative γ, so pseudoLogLikelihood must always be finite.
+func TestAlphaAlwaysValid(t *testing.T) {
+	s := randomLinkedState(t, 101, 30)
+	st := s.buildStrengthStats()
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 50; trial++ {
+		gamma := []float64{rng.Float64() * 20, rng.Float64() * 20}
+		v := st.pseudoLogLikelihood(gamma, 0.1)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("g2 not finite at γ=%v: %v", gamma, v)
+		}
+	}
+	// Zero strengths are feasible too.
+	if v := st.pseudoLogLikelihood([]float64{0, 0}, 0.1); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("g2 not finite at 0: %v", v)
+	}
+}

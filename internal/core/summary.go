@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"genclus/internal/hin"
+)
+
+// TermWeight is one vocabulary entry of a cluster's categorical component.
+type TermWeight struct {
+	Term   int
+	Weight float64
+}
+
+// ClusterSummary describes one cluster of a fitted model in the terms a
+// human inspects: its size per object type and, per categorical attribute,
+// the highest-probability terms of its component (the "top words" view of
+// topic models; the workflow behind the paper's Table 1 case study).
+type ClusterSummary struct {
+	Cluster  int
+	Size     int            // objects whose argmax membership is this cluster
+	ByType   map[string]int // size split by object type
+	TopTerms map[string][]TermWeight
+	// GaussMeans maps numeric attribute name → the component mean.
+	GaussMeans map[string]float64
+}
+
+// Summarize produces per-cluster summaries of a fitted model on the network
+// it was fitted to. topN bounds the number of terms reported per
+// categorical attribute.
+func (r *Result) Summarize(net *hin.Network, topN int) ([]ClusterSummary, error) {
+	if net == nil {
+		return nil, fmt.Errorf("core: Summarize on nil network")
+	}
+	if len(r.Theta) != net.NumObjects() {
+		return nil, fmt.Errorf("core: result has %d rows for %d objects", len(r.Theta), net.NumObjects())
+	}
+	if topN < 1 {
+		return nil, fmt.Errorf("core: Summarize topN = %d, want ≥ 1", topN)
+	}
+	labels := r.HardLabels()
+	out := make([]ClusterSummary, r.K)
+	for k := range out {
+		out[k] = ClusterSummary{
+			Cluster:    k,
+			ByType:     make(map[string]int),
+			TopTerms:   make(map[string][]TermWeight),
+			GaussMeans: make(map[string]float64),
+		}
+	}
+	for v, lab := range labels {
+		out[lab].Size++
+		out[lab].ByType[net.TypeOf(v)]++
+	}
+	for _, am := range r.Attrs {
+		switch am.Kind {
+		case hin.Categorical:
+			for k := 0; k < r.K; k++ {
+				row := am.Cat.Beta[k]
+				terms := make([]TermWeight, len(row))
+				for l, w := range row {
+					terms[l] = TermWeight{Term: l, Weight: w}
+				}
+				sort.Slice(terms, func(i, j int) bool {
+					if terms[i].Weight != terms[j].Weight {
+						return terms[i].Weight > terms[j].Weight
+					}
+					return terms[i].Term < terms[j].Term
+				})
+				n := topN
+				if n > len(terms) {
+					n = len(terms)
+				}
+				out[k].TopTerms[am.Name] = terms[:n]
+			}
+		case hin.Numeric:
+			for k := 0; k < r.K; k++ {
+				out[k].GaussMeans[am.Name] = am.Gauss.Mu[k]
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders a compact single-line description.
+func (cs ClusterSummary) String() string {
+	return fmt.Sprintf("cluster %d: %d objects %v", cs.Cluster, cs.Size, cs.ByType)
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"genclus/internal/hin"
+)
+
+func TestSummarize(t *testing.T) {
+	net, labels := twoTopicNetwork(t, 15, 77)
+	opts := DefaultOptions(2)
+	opts.Seed = 78
+	res, err := Fit(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := res.Summarize(net, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	var total int
+	for _, cs := range sums {
+		total += cs.Size
+		if cs.ByType["doc"] != cs.Size {
+			t.Errorf("cluster %d ByType inconsistent: %+v", cs.Cluster, cs)
+		}
+		terms := cs.TopTerms["text"]
+		if len(terms) != 5 {
+			t.Fatalf("cluster %d has %d top terms", cs.Cluster, len(terms))
+		}
+		for i := 1; i < len(terms); i++ {
+			if terms[i].Weight > terms[i-1].Weight {
+				t.Fatal("top terms not sorted by weight")
+			}
+		}
+		if cs.String() == "" {
+			t.Error("empty summary string")
+		}
+	}
+	if total != net.NumObjects() {
+		t.Errorf("summaries cover %d of %d objects", total, net.NumObjects())
+	}
+	// The planted topics use disjoint vocabulary blocks (0-9 vs 10-19): the
+	// top terms of the two clusters must not overlap.
+	seen := map[int]int{}
+	for _, cs := range sums {
+		for _, tw := range cs.TopTerms["text"] {
+			seen[tw.Term]++
+		}
+	}
+	for term, count := range seen {
+		if count > 1 {
+			t.Errorf("term %d appears in both clusters' top terms", term)
+		}
+	}
+	_ = labels
+}
+
+func TestSummarizeGaussMeans(t *testing.T) {
+	net, _ := gaussianChainNetwork(t, 15, 79)
+	opts := DefaultOptions(2)
+	opts.Seed = 80
+	res, err := Fit(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := res.Summarize(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := map[int]float64{}
+	for _, cs := range sums {
+		m, ok := cs.GaussMeans["reading"]
+		if !ok {
+			t.Fatal("missing Gaussian mean in summary")
+		}
+		means[cs.Cluster] = m
+	}
+	// The two component means must be well separated (truth: 0 and 5).
+	if len(means) != 2 {
+		t.Fatal("wrong cluster count")
+	}
+	diff := means[0] - means[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff < 3 {
+		t.Errorf("component means not separated: %v", means)
+	}
+}
+
+func TestSummarizeValidation(t *testing.T) {
+	net, _ := twoTopicNetwork(t, 5, 81)
+	opts := DefaultOptions(2)
+	opts.OuterIters = 1
+	res, err := Fit(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Summarize(nil, 3); err == nil {
+		t.Error("nil network should error")
+	}
+	if _, err := res.Summarize(net, 0); err == nil {
+		t.Error("topN=0 should error")
+	}
+	other := hin.NewBuilder()
+	other.AddObject("only", "t")
+	smallNet, err := other.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Summarize(smallNet, 3); err == nil {
+		t.Error("mismatched network should error")
+	}
+}

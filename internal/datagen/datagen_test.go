@@ -1,0 +1,504 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"genclus/internal/hin"
+)
+
+func TestWeatherConfigValidation(t *testing.T) {
+	bad := []WeatherConfig{
+		{NumT: 0, NumP: 10, K: 4, Means: make([][2]float64, 4), StdDev: 0.2, NumObs: 1, Neighbors: 5, TSpread: 2, PSpread: 3},
+		{NumT: 10, NumP: 0, K: 4, Means: make([][2]float64, 4), StdDev: 0.2, NumObs: 1, Neighbors: 5, TSpread: 2, PSpread: 3},
+		{NumT: 10, NumP: 10, K: 1, Means: make([][2]float64, 1), StdDev: 0.2, NumObs: 1, Neighbors: 5, TSpread: 1, PSpread: 1},
+		{NumT: 10, NumP: 10, K: 4, Means: make([][2]float64, 3), StdDev: 0.2, NumObs: 1, Neighbors: 5, TSpread: 2, PSpread: 3},
+		{NumT: 10, NumP: 10, K: 4, Means: make([][2]float64, 4), StdDev: 0, NumObs: 1, Neighbors: 5, TSpread: 2, PSpread: 3},
+		{NumT: 10, NumP: 10, K: 4, Means: make([][2]float64, 4), StdDev: 0.2, NumObs: -1, Neighbors: 5, TSpread: 2, PSpread: 3},
+		{NumT: 10, NumP: 10, K: 4, Means: make([][2]float64, 4), StdDev: 0.2, NumObs: 1, Neighbors: 0, TSpread: 2, PSpread: 3},
+		{NumT: 10, NumP: 10, K: 4, Means: make([][2]float64, 4), StdDev: 0.2, NumObs: 1, Neighbors: 5, TSpread: 0, PSpread: 3},
+		{NumT: 10, NumP: 10, K: 4, Means: make([][2]float64, 4), StdDev: 0.2, NumObs: 1, Neighbors: 5, TSpread: 2, PSpread: 9},
+	}
+	for i, cfg := range bad {
+		if _, err := Weather(cfg); err == nil {
+			t.Errorf("config %d should have been rejected", i)
+		}
+	}
+}
+
+func TestWeatherShape(t *testing.T) {
+	cfg := WeatherSetting1(120, 60, 5, 7)
+	ds, err := Weather(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := ds.Net
+	if net.NumObjects() != 180 {
+		t.Errorf("objects = %d, want 180", net.NumObjects())
+	}
+	if got := len(net.ObjectsOfType(TypeTempSensor)); got != 120 {
+		t.Errorf("temp sensors = %d", got)
+	}
+	if got := len(net.ObjectsOfType(TypePrecipSensor)); got != 60 {
+		t.Errorf("precip sensors = %d", got)
+	}
+	// Every sensor links to exactly Neighbors sensors of each type
+	// (both types have > Neighbors members here).
+	for v := 0; v < net.NumObjects(); v++ {
+		perRel := map[string]int{}
+		for _, e := range net.OutEdges(v) {
+			perRel[net.RelationName(e.Rel)]++
+			if e.Weight != 1 {
+				t.Fatal("weather links must be binary")
+			}
+		}
+		isTemp := net.TypeOf(v) == TypeTempSensor
+		if isTemp {
+			if perRel[RelTT] != cfg.Neighbors || perRel[RelTP] != cfg.Neighbors {
+				t.Fatalf("temp sensor %d out-links: %v", v, perRel)
+			}
+		} else {
+			if perRel[RelPT] != cfg.Neighbors || perRel[RelPP] != cfg.Neighbors {
+				t.Fatalf("precip sensor %d out-links: %v", v, perRel)
+			}
+		}
+	}
+	if net.NumRelations() != 4 {
+		t.Errorf("relations = %d", net.NumRelations())
+	}
+}
+
+func TestWeatherIncompleteAttributes(t *testing.T) {
+	ds, err := Weather(WeatherSetting1(50, 30, 5, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := ds.Net
+	tempAttr, _ := net.AttrID(AttrTemperature)
+	precAttr, _ := net.AttrID(AttrPrecipitation)
+	for _, v := range net.ObjectsOfType(TypeTempSensor) {
+		if !net.HasObservation(tempAttr, v) {
+			t.Fatalf("temp sensor %d missing temperature obs", v)
+		}
+		if net.HasObservation(precAttr, v) {
+			t.Fatalf("temp sensor %d has precipitation obs", v)
+		}
+		if len(net.NumericObs(tempAttr, v)) != 5 {
+			t.Fatalf("temp sensor %d has %d obs, want 5", v, len(net.NumericObs(tempAttr, v)))
+		}
+	}
+	for _, v := range net.ObjectsOfType(TypePrecipSensor) {
+		if net.HasObservation(tempAttr, v) || !net.HasObservation(precAttr, v) {
+			t.Fatalf("precip sensor %d attribute assignment wrong", v)
+		}
+	}
+}
+
+func TestWeatherMembershipSpread(t *testing.T) {
+	ds, err := Weather(WeatherSetting1(80, 80, 1, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := ds.Net
+	for v, mem := range ds.TrueMembership {
+		nonzero := 0
+		for _, p := range mem {
+			if p > 0 {
+				nonzero++
+			}
+		}
+		if net.TypeOf(v) == TypeTempSensor && nonzero != 2 {
+			t.Fatalf("temp sensor %d mixes over %d clusters, want 2", v, nonzero)
+		}
+		if net.TypeOf(v) == TypePrecipSensor && nonzero != 3 {
+			t.Fatalf("precip sensor %d mixes over %d clusters, want 3", v, nonzero)
+		}
+	}
+}
+
+func TestWeatherObservationsNearMeans(t *testing.T) {
+	// With tight σ and well-separated means (Setting 1), each observation
+	// should fall near one of the cluster means of the sensor's attribute.
+	cfg := WeatherSetting1(100, 100, 10, 10)
+	ds, err := Weather(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := ds.Net
+	tempAttr, _ := net.AttrID(AttrTemperature)
+	for _, v := range net.ObjectsOfType(TypeTempSensor) {
+		for _, x := range net.NumericObs(tempAttr, v) {
+			nearest := math.Inf(1)
+			for _, m := range cfg.Means {
+				if d := math.Abs(x - m[0]); d < nearest {
+					nearest = d
+				}
+			}
+			if nearest > 5*cfg.StdDev {
+				t.Fatalf("observation %v is %v σ away from every mean", x, nearest/cfg.StdDev)
+			}
+		}
+	}
+}
+
+func TestWeatherDeterministicSeed(t *testing.T) {
+	a, err := Weather(WeatherSetting1(40, 20, 3, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Weather(WeatherSetting1(40, 20, 3, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, _ := a.Net.MarshalJSON()
+	db, _ := b.Net.MarshalJSON()
+	if string(da) != string(db) {
+		t.Error("same seed should generate identical networks")
+	}
+	c, err := Weather(WeatherSetting1(40, 20, 3, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, _ := c.Net.MarshalJSON()
+	if string(da) == string(dc) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestWeatherSetting2Means(t *testing.T) {
+	cfg := WeatherSetting2(10, 10, 1, 1)
+	if cfg.Means[1][0] != -1 || cfg.Means[3][1] != -1 {
+		t.Errorf("Setting 2 means wrong: %v", cfg.Means)
+	}
+}
+
+func TestRingMembership(t *testing.T) {
+	lo := []float64{0, 0.25, 0.5, 0.75}
+	hi := []float64{0.25, 0.5, 0.75, 1}
+	// A point deep inside ring 1 with spread 2 and sharp softness loads
+	// most mass on ring 1.
+	mem := ringMembership(0.375, lo, hi, 2, 0.01)
+	if mem[1] < 0.9 {
+		t.Errorf("in-band membership = %v", mem)
+	}
+	var sum float64
+	for _, p := range mem {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("membership sums to %v", sum)
+	}
+	// A point exactly on the ring 1/2 boundary splits evenly between them.
+	memB := ringMembership(0.5, lo, hi, 2, 0.01)
+	if math.Abs(memB[1]-memB[2]) > 1e-12 {
+		t.Errorf("boundary membership not symmetric: %v", memB)
+	}
+	// Spread 3 touches exactly 3 rings.
+	mem3 := ringMembership(0.5, lo, hi, 3, 0.05)
+	nonzero := 0
+	for _, p := range mem3 {
+		if p > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 3 {
+		t.Errorf("spread-3 membership has %d nonzero entries", nonzero)
+	}
+	// Flatter softness yields flatter memberships.
+	sharp := ringMembership(0.6, lo, hi, 3, 0.01)
+	flat := ringMembership(0.6, lo, hi, 3, 0.5)
+	if maxOf(flat) >= maxOf(sharp) {
+		t.Errorf("softness should flatten: sharp %v flat %v", sharp, flat)
+	}
+}
+
+func maxOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestBiblioConfigValidation(t *testing.T) {
+	base := DefaultBiblioConfig(SchemaAC, 1)
+	mutations := []func(*BiblioConfig){
+		func(c *BiblioConfig) { c.NumAreas = 1 },
+		func(c *BiblioConfig) { c.NumConfs = 2 },
+		func(c *BiblioConfig) { c.NumAuthors = 0 },
+		func(c *BiblioConfig) { c.NumPapers = 0 },
+		func(c *BiblioConfig) { c.TitleLength = 0 },
+		func(c *BiblioConfig) { c.AuthorsPerPaper = 0 },
+		func(c *BiblioConfig) { c.ConfFidelity = 0 },
+		func(c *BiblioConfig) { c.AuthorFidelity = 1.5 },
+		func(c *BiblioConfig) { c.TitleOwnAreaMass = -0.1 },
+		func(c *BiblioConfig) { c.LabeledAuthorFrac = 1.2 },
+		func(c *BiblioConfig) { c.LabeledPapers = -5 },
+	}
+	for i, mut := range mutations {
+		cfg := base
+		mut(&cfg)
+		if _, err := Biblio(cfg); err == nil {
+			t.Errorf("mutation %d should have been rejected", i)
+		}
+	}
+}
+
+func smallBiblio(schema Schema, seed int64) BiblioConfig {
+	cfg := DefaultBiblioConfig(schema, seed)
+	cfg.NumAuthors = 120
+	cfg.NumPapers = 200
+	cfg.LabeledPapers = 40
+	return cfg
+}
+
+func TestBiblioACShape(t *testing.T) {
+	cfg := smallBiblio(SchemaAC, 11)
+	ds, err := Biblio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := ds.Net
+	if got := len(net.ObjectsOfType(TypeAuthor)); got != cfg.NumAuthors {
+		t.Errorf("authors = %d", got)
+	}
+	if got := len(net.ObjectsOfType(TypeConf)); got != cfg.NumConfs {
+		t.Errorf("conferences = %d", got)
+	}
+	if len(net.ObjectsOfType(TypePaper)) != 0 {
+		t.Error("AC network must not contain paper objects")
+	}
+	// Relations: publish_in, published_by, coauthor.
+	if _, ok := net.RelationID(RelPublishIn); !ok {
+		t.Error("missing publish_in")
+	}
+	if _, ok := net.RelationID(RelPublishedBy); !ok {
+		t.Error("missing published_by")
+	}
+	if _, ok := net.RelationID(RelCoauthor); !ok {
+		t.Error("missing coauthor")
+	}
+	// Text is complete: every object has text.
+	text, _ := net.AttrID(AttrText)
+	for v := 0; v < net.NumObjects(); v++ {
+		if !net.HasObservation(text, v) {
+			t.Fatalf("object %s has no text in AC network", net.Object(v).ID)
+		}
+	}
+	// 〈A,C〉 and 〈C,A〉 must mirror each other with equal weights.
+	rPub, _ := net.RelationID(RelPublishIn)
+	rRev, _ := net.RelationID(RelPublishedBy)
+	fwd := map[[2]int]float64{}
+	rev := map[[2]int]float64{}
+	for _, e := range net.Edges() {
+		if e.Rel == rPub {
+			fwd[[2]int{e.From, e.To}] = e.Weight
+		}
+		if e.Rel == rRev {
+			rev[[2]int{e.To, e.From}] = e.Weight
+		}
+	}
+	if len(fwd) == 0 || len(fwd) != len(rev) {
+		t.Fatalf("AC link mirror counts: %d vs %d", len(fwd), len(rev))
+	}
+	for k, w := range fwd {
+		if rev[k] != w {
+			t.Fatalf("mirror weight mismatch at %v: %v vs %v", k, w, rev[k])
+		}
+	}
+}
+
+func TestBiblioACPShape(t *testing.T) {
+	cfg := smallBiblio(SchemaACP, 12)
+	ds, err := Biblio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := ds.Net
+	if got := len(net.ObjectsOfType(TypePaper)); got != cfg.NumPapers {
+		t.Errorf("papers = %d", got)
+	}
+	// Text is incomplete: only papers carry it.
+	text, _ := net.AttrID(AttrText)
+	for _, v := range net.ObjectsOfType(TypePaper) {
+		if !net.HasObservation(text, v) {
+			t.Fatal("paper without text")
+		}
+	}
+	for _, v := range net.ObjectsOfType(TypeAuthor) {
+		if net.HasObservation(text, v) {
+			t.Fatal("author with text in ACP network")
+		}
+	}
+	for _, v := range net.ObjectsOfType(TypeConf) {
+		if net.HasObservation(text, v) {
+			t.Fatal("conference with text in ACP network")
+		}
+	}
+	// Every paper has exactly one publishing conference and ≥1 author.
+	rByC, _ := net.RelationID(RelPublishedByP)
+	rByA, _ := net.RelationID(RelWrittenBy)
+	for _, p := range net.ObjectsOfType(TypePaper) {
+		confs, authors := 0, 0
+		for _, e := range net.OutEdges(p) {
+			switch e.Rel {
+			case rByC:
+				confs++
+			case rByA:
+				authors++
+			}
+			if e.Weight != 1 {
+				t.Fatal("ACP links must be binary")
+			}
+		}
+		if confs != 1 {
+			t.Fatalf("paper %d has %d conference links", p, confs)
+		}
+		// The coverage guarantee can attach extra paperless authors, so only
+		// the lower bound is exact.
+		if authors < 1 {
+			t.Fatalf("paper %d has no authors", p)
+		}
+	}
+}
+
+func TestBiblioLabels(t *testing.T) {
+	cfg := smallBiblio(SchemaACP, 13)
+	ds, err := Biblio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All conferences labeled.
+	if got := len(ds.LabeledOfType(TypeConf)); got != cfg.NumConfs {
+		t.Errorf("labeled conferences = %d", got)
+	}
+	// ~30% of authors labeled.
+	wantAuthors := int(cfg.LabeledAuthorFrac * float64(cfg.NumAuthors))
+	if got := len(ds.LabeledOfType(TypeAuthor)); got != wantAuthors {
+		t.Errorf("labeled authors = %d, want %d", got, wantAuthors)
+	}
+	if got := len(ds.LabeledOfType(TypePaper)); got != cfg.LabeledPapers {
+		t.Errorf("labeled papers = %d, want %d", got, cfg.LabeledPapers)
+	}
+	// Labels are within range (Validate covers this, but double-check the
+	// conference labels match the round-robin construction).
+	for c := 0; c < cfg.NumConfs; c++ {
+		v, ok := ds.Net.IndexOf(fmt.Sprintf("conf%02d", c))
+		if !ok {
+			t.Fatalf("conf %d missing", c)
+		}
+		if ds.Labels[v] != c%cfg.NumAreas {
+			t.Fatalf("conference %d labeled %d, want %d", c, ds.Labels[v], c%cfg.NumAreas)
+		}
+	}
+}
+
+func TestBiblioDeterministicSeed(t *testing.T) {
+	a, err := Biblio(smallBiblio(SchemaAC, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Biblio(smallBiblio(SchemaAC, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, _ := a.Net.MarshalJSON()
+	db, _ := b.Net.MarshalJSON()
+	if string(da) != string(db) {
+		t.Error("same seed should generate identical networks")
+	}
+}
+
+func TestBiblioTextSignal(t *testing.T) {
+	// Conference text should be dominated by its own area's vocabulary
+	// block — this is the signal GenClus clusters on.
+	cfg := smallBiblio(SchemaAC, 14)
+	cfg.NumPapers = 600
+	ds, err := Biblio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := ds.Net
+	text, _ := net.AttrID(AttrText)
+	termsPerArea := cfg.Text.TermsPerArea
+	correct := 0
+	for c := 0; c < cfg.NumConfs; c++ {
+		v, _ := net.IndexOf(fmt.Sprintf("conf%02d", c))
+		perArea := make([]float64, cfg.NumAreas)
+		for _, tc := range net.TermCounts(text, v) {
+			if tc.Term < cfg.NumAreas*termsPerArea {
+				perArea[tc.Term/termsPerArea] += tc.Count
+			}
+		}
+		if bestArea(perArea) == c%cfg.NumAreas {
+			correct++
+		}
+	}
+	if correct < cfg.NumConfs*3/4 {
+		t.Errorf("only %d/%d conferences have dominant own-area text", correct, cfg.NumConfs)
+	}
+}
+
+func bestArea(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestDatasetValidateCatchesCorruption(t *testing.T) {
+	ds, err := Weather(WeatherSetting1(20, 20, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Labels[99999] = 0
+	if err := ds.Validate(); err == nil {
+		t.Error("out-of-range label index should fail validation")
+	}
+	delete(ds.Labels, 99999)
+	ds.Labels[0] = 77
+	if err := ds.Validate(); err == nil {
+		t.Error("out-of-range label value should fail validation")
+	}
+	ds.Labels[0] = 0
+	ds.TrueMembership[0] = []float64{0.5, 0.5} // wrong K
+	if err := ds.Validate(); err == nil {
+		t.Error("wrong membership length should fail validation")
+	}
+}
+
+func TestFullScaleConfigCounts(t *testing.T) {
+	cfg := FullScaleBiblioConfig(SchemaACP, 1)
+	if cfg.NumAuthors != 14475 || cfg.NumPapers != 14376 || cfg.NumConfs != 20 {
+		t.Errorf("full-scale counts wrong: %+v", cfg)
+	}
+	if math.Abs(cfg.LabeledAuthorFrac*float64(cfg.NumAuthors)-4236) > 1 {
+		t.Errorf("labeled author fraction wrong: %v", cfg.LabeledAuthorFrac)
+	}
+}
+
+// Ensure the dataset JSON round-trips through hin (generators feed files to
+// cmd/genclus).
+func TestWeatherNetworkRoundTrip(t *testing.T) {
+	ds, err := Weather(WeatherSetting1(30, 15, 2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ds.Net.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := hin.FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumObjects() != ds.Net.NumObjects() || back.NumEdges() != ds.Net.NumEdges() {
+		t.Error("round trip changed shape")
+	}
+}

@@ -1,0 +1,81 @@
+package datagen
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSchemaString(t *testing.T) {
+	if SchemaAC.String() != "AC" || SchemaACP.String() != "ACP" {
+		t.Error("schema names wrong")
+	}
+	if !strings.Contains(Schema(9).String(), "9") {
+		t.Error("unknown schema should show its value")
+	}
+}
+
+func TestBiblioAuthorCoverageWithFewPapers(t *testing.T) {
+	// More authors than papers: the coverage guarantee must attach every
+	// author to some paper even when their own area has no papers at all.
+	cfg := DefaultBiblioConfig(SchemaAC, 21)
+	cfg.NumAuthors = 40
+	cfg.NumPapers = 2 // at most 2 of the 4 areas can have papers
+	cfg.LabeledPapers = 0
+	ds, err := Biblio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := ds.Net.AttrID(AttrText)
+	for _, v := range ds.Net.ObjectsOfType(TypeAuthor) {
+		if !ds.Net.HasObservation(text, v) {
+			t.Fatalf("author %s has no text despite coverage guarantee", ds.Net.Object(v).ID)
+		}
+	}
+}
+
+func TestBiblioCoauthorNoiseAddsCrossAreaLinks(t *testing.T) {
+	mk := func(noise int) float64 {
+		cfg := DefaultBiblioConfig(SchemaAC, 31)
+		cfg.NumAuthors = 200
+		cfg.NumPapers = 300
+		cfg.CoauthorNoise = noise
+		ds, err := Biblio(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, _ := ds.Net.RelationID(RelCoauthor)
+		var cross, total float64
+		for _, e := range ds.Net.Edges() {
+			if e.Rel != rel {
+				continue
+			}
+			total += e.Weight
+			// Ground-truth areas follow the round-robin construction.
+			fromArea := authorIndexOf(t, ds, e.From) % cfg.NumAreas
+			toArea := authorIndexOf(t, ds, e.To) % cfg.NumAreas
+			if fromArea != toArea {
+				cross += e.Weight
+			}
+		}
+		if total == 0 {
+			t.Fatal("no coauthor links")
+		}
+		return cross / total
+	}
+	clean := mk(0)
+	noisy := mk(5)
+	if noisy <= clean {
+		t.Errorf("coauthor noise should raise the cross-area fraction: clean=%v noisy=%v", clean, noisy)
+	}
+}
+
+func authorIndexOf(t *testing.T, ds *Dataset, v int) int {
+	t.Helper()
+	id := ds.Net.Object(v).ID
+	var n int
+	if _, err := fmt.Sscanf(id, "author%d", &n); err != nil {
+		t.Fatalf("unexpected author id %q", id)
+	}
+	return n
+}

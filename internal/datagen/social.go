@@ -1,0 +1,258 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"genclus/internal/hin"
+	"genclus/internal/stats"
+	"genclus/internal/textgen"
+)
+
+// Object types, relations and attributes of the social media network —
+// the paper's introductory YouTube scenario: users, videos and comments;
+// publish/like/post/friendship relations; text attributes on videos and
+// comments, a numeric clip-length attribute on videos, and (incomplete)
+// profile text on some users.
+const (
+	TypeUser    = "user"
+	TypeVideo   = "video"
+	TypeComment = "comment"
+
+	AttrProfile    = "profile"     // categorical, on a subset of users
+	AttrVideoText  = "video_text"  // categorical, on all videos
+	AttrClipLength = "clip_length" // numeric, on all videos
+
+	RelUploads    = "uploads"      // 〈U,V〉
+	RelUploadedBy = "uploaded_by"  // 〈V,U〉
+	RelLike       = "likes"        // 〈U,V〉
+	RelLikedBy    = "liked_by"     // 〈V,U〉
+	RelPost       = "posts"        // 〈U,Cm〉
+	RelPostedBy   = "posted_by"    // 〈Cm,U〉
+	RelOn         = "commented_on" // 〈Cm,V〉
+	RelFriend     = "friend"       // 〈U,U〉
+)
+
+// SocialConfig parameterizes the social media generator. The network
+// exercises the one combination the paper's two evaluation networks never
+// do: categorical AND numeric attributes, incomplete on different types,
+// in one fit.
+type SocialConfig struct {
+	NumCommunities int // hidden interest communities (clusters)
+	NumUsers       int
+	NumVideos      int
+	NumComments    int
+
+	// ProfileFrac is the fraction of users whose profile text is observed
+	// (the Fig. 1 motivation: "not all the users listed their political
+	// interests in their profiles").
+	ProfileFrac float64
+
+	// LikesPerUser and FriendsPerUser control link density; likes stay
+	// within the user's community with probability LikeFidelity while
+	// friendship crosses communities freely with probability 1−FriendFidelity.
+	LikesPerUser   int
+	FriendsPerUser int
+	LikeFidelity   float64
+	FriendFidelity float64
+
+	// ClipLengthMeans gives each community a distinct mean video length —
+	// the numeric attribute (σ fixed at 1/6 of the smallest mean gap).
+	ClipLengthBase float64
+	ClipLengthStep float64
+
+	ProfileTerms int // terms per observed profile
+	VideoTerms   int // terms per video description
+
+	Text textgen.Config
+	Seed int64
+}
+
+// DefaultSocialConfig returns a moderate-size social network.
+func DefaultSocialConfig(seed int64) SocialConfig {
+	return SocialConfig{
+		NumCommunities: 3,
+		NumUsers:       300,
+		NumVideos:      150,
+		NumComments:    450,
+		ProfileFrac:    0.3,
+		LikesPerUser:   4,
+		FriendsPerUser: 3,
+		LikeFidelity:   0.9,
+		FriendFidelity: 0.55,
+		ClipLengthBase: 60,
+		ClipLengthStep: 120,
+		ProfileTerms:   6,
+		VideoTerms:     10,
+		Text:           textgen.DefaultConfig(3),
+		Seed:           seed,
+	}
+}
+
+func (c SocialConfig) validate() error {
+	if c.NumCommunities < 2 {
+		return fmt.Errorf("datagen: social needs ≥ 2 communities, got %d", c.NumCommunities)
+	}
+	if c.NumUsers <= 0 || c.NumVideos <= 0 || c.NumComments < 0 {
+		return fmt.Errorf("datagen: social needs positive user/video counts")
+	}
+	if c.ProfileFrac < 0 || c.ProfileFrac > 1 {
+		return fmt.Errorf("datagen: ProfileFrac = %v", c.ProfileFrac)
+	}
+	if c.LikesPerUser < 1 || c.FriendsPerUser < 0 {
+		return fmt.Errorf("datagen: social link counts invalid")
+	}
+	for _, p := range []float64{c.LikeFidelity, c.FriendFidelity} {
+		if !(p > 0 && p <= 1) {
+			return fmt.Errorf("datagen: social fidelity %v outside (0,1]", p)
+		}
+	}
+	if c.ProfileTerms < 1 || c.VideoTerms < 1 {
+		return fmt.Errorf("datagen: social term counts invalid")
+	}
+	if !(c.ClipLengthStep > 0) {
+		return fmt.Errorf("datagen: ClipLengthStep = %v, want > 0", c.ClipLengthStep)
+	}
+	return nil
+}
+
+// Social generates the YouTube-style network of the paper's introduction.
+// Ground truth labels cover every object (users and comments inherit the
+// community of their interests/author).
+func Social(cfg SocialConfig) (*Dataset, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cfg.Text.NumAreas = cfg.NumCommunities
+	corpus, err := textgen.NewCorpusModel(cfg.Text, rng)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: social corpus: %w", err)
+	}
+
+	b := hin.NewBuilder()
+	b.DeclareAttribute(hin.AttrSpec{Name: AttrProfile, Kind: hin.Categorical, VocabSize: corpus.VocabSize})
+	b.DeclareAttribute(hin.AttrSpec{Name: AttrVideoText, Kind: hin.Categorical, VocabSize: corpus.VocabSize})
+	b.DeclareAttribute(hin.AttrSpec{Name: AttrClipLength, Kind: hin.Numeric})
+
+	userIdx := make([]int, cfg.NumUsers)
+	userCom := make([]int, cfg.NumUsers)
+	for u := range userIdx {
+		userIdx[u] = b.AddObject(fmt.Sprintf("user%04d", u), TypeUser)
+		userCom[u] = u % cfg.NumCommunities
+	}
+	videoIdx := make([]int, cfg.NumVideos)
+	videoCom := make([]int, cfg.NumVideos)
+	for v := range videoIdx {
+		videoIdx[v] = b.AddObject(fmt.Sprintf("video%04d", v), TypeVideo)
+		videoCom[v] = v % cfg.NumCommunities
+	}
+	commentIdx := make([]int, cfg.NumComments)
+	commentCom := make([]int, cfg.NumComments)
+	for cm := range commentIdx {
+		commentIdx[cm] = b.AddObject(fmt.Sprintf("comment%04d", cm), TypeComment)
+	}
+
+	mixtureFor := func(com int, own float64) []float64 {
+		mix := make([]float64, cfg.NumCommunities)
+		leak := (1 - own) / float64(cfg.NumCommunities)
+		for k := range mix {
+			mix[k] = leak
+		}
+		mix[com] += own
+		return mix
+	}
+
+	// Video attributes: description text + clip length.
+	sigma := cfg.ClipLengthStep / 6
+	for v := range videoIdx {
+		terms, err := corpus.SampleTermCounts(rng, mixtureFor(videoCom[v], 0.85), cfg.VideoTerms)
+		if err != nil {
+			return nil, err
+		}
+		for term, c := range terms {
+			b.AddTermCountByIndex(videoIdx[v], AttrVideoText, term, c)
+		}
+		mean := cfg.ClipLengthBase + float64(videoCom[v])*cfg.ClipLengthStep
+		g := stats.Gaussian{Mu: mean, Sigma: sigma}
+		b.AddNumericByIndex(videoIdx[v], AttrClipLength, g.Sample(rng))
+	}
+
+	// Users: publisher of ~NumVideos/NumUsers videos of their community,
+	// likes mostly within community, friendships that cross freely,
+	// profiles observed for a fraction only.
+	pickCommunityMember := func(com int, count int, areaOf []int, fidelity float64) int {
+		if rng.Float64() < fidelity {
+			for {
+				i := rng.Intn(count)
+				if areaOf[i] == com {
+					return i
+				}
+			}
+		}
+		return rng.Intn(count)
+	}
+	for v := range videoIdx {
+		u := pickCommunityMember(videoCom[v], cfg.NumUsers, userCom, 0.95)
+		b.AddLinkByIndex(userIdx[u], videoIdx[v], RelUploads, 1)
+		b.AddLinkByIndex(videoIdx[v], userIdx[u], RelUploadedBy, 1)
+	}
+	for u := range userIdx {
+		for i := 0; i < cfg.LikesPerUser; i++ {
+			v := pickCommunityMember(userCom[u], cfg.NumVideos, videoCom, cfg.LikeFidelity)
+			b.AddLinkByIndex(userIdx[u], videoIdx[v], RelLike, 1)
+			b.AddLinkByIndex(videoIdx[v], userIdx[u], RelLikedBy, 1)
+		}
+		for i := 0; i < cfg.FriendsPerUser; i++ {
+			o := pickCommunityMember(userCom[u], cfg.NumUsers, userCom, cfg.FriendFidelity)
+			if o != u {
+				b.AddLinkByIndex(userIdx[u], userIdx[o], RelFriend, 1)
+			}
+		}
+		if rng.Float64() < cfg.ProfileFrac {
+			terms, err := corpus.SampleTermCounts(rng, mixtureFor(userCom[u], 0.8), cfg.ProfileTerms)
+			if err != nil {
+				return nil, err
+			}
+			for term, c := range terms {
+				b.AddTermCountByIndex(userIdx[u], AttrProfile, term, c)
+			}
+		}
+	}
+
+	// Comments: authored by a user, attached to a video of the author's
+	// community; carry no attributes at all (clustered purely via links).
+	for cm := range commentIdx {
+		u := rng.Intn(cfg.NumUsers)
+		com := userCom[u]
+		commentCom[cm] = com
+		v := pickCommunityMember(com, cfg.NumVideos, videoCom, 0.9)
+		b.AddLinkByIndex(userIdx[u], commentIdx[cm], RelPost, 1)
+		b.AddLinkByIndex(commentIdx[cm], userIdx[u], RelPostedBy, 1)
+		b.AddLinkByIndex(commentIdx[cm], videoIdx[v], RelOn, 1)
+	}
+
+	net, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("datagen: build social network: %w", err)
+	}
+	ds := &Dataset{
+		Name:        fmt.Sprintf("social(U=%d,V=%d,Cm=%d)", cfg.NumUsers, cfg.NumVideos, cfg.NumComments),
+		Net:         net,
+		NumClusters: cfg.NumCommunities,
+		Labels:      make(map[int]int),
+	}
+	for u := range userIdx {
+		ds.Labels[userIdx[u]] = userCom[u]
+	}
+	for v := range videoIdx {
+		ds.Labels[videoIdx[v]] = videoCom[v]
+	}
+	for cm := range commentIdx {
+		ds.Labels[commentIdx[cm]] = commentCom[cm]
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

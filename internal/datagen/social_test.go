@@ -1,0 +1,140 @@
+package datagen
+
+import (
+	"testing"
+
+	"genclus/internal/hin"
+)
+
+func TestSocialConfigValidation(t *testing.T) {
+	base := DefaultSocialConfig(1)
+	mutations := []func(*SocialConfig){
+		func(c *SocialConfig) { c.NumCommunities = 1 },
+		func(c *SocialConfig) { c.NumUsers = 0 },
+		func(c *SocialConfig) { c.NumVideos = 0 },
+		func(c *SocialConfig) { c.NumComments = -1 },
+		func(c *SocialConfig) { c.ProfileFrac = 1.5 },
+		func(c *SocialConfig) { c.LikesPerUser = 0 },
+		func(c *SocialConfig) { c.FriendsPerUser = -1 },
+		func(c *SocialConfig) { c.LikeFidelity = 0 },
+		func(c *SocialConfig) { c.FriendFidelity = 1.2 },
+		func(c *SocialConfig) { c.ProfileTerms = 0 },
+		func(c *SocialConfig) { c.VideoTerms = 0 },
+		func(c *SocialConfig) { c.ClipLengthStep = 0 },
+	}
+	for i, mut := range mutations {
+		cfg := base
+		mut(&cfg)
+		if _, err := Social(cfg); err == nil {
+			t.Errorf("mutation %d should have been rejected", i)
+		}
+	}
+}
+
+func smallSocial(seed int64) SocialConfig {
+	cfg := DefaultSocialConfig(seed)
+	cfg.NumUsers = 90
+	cfg.NumVideos = 45
+	cfg.NumComments = 120
+	return cfg
+}
+
+func TestSocialShape(t *testing.T) {
+	cfg := smallSocial(3)
+	ds, err := Social(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := ds.Net
+	if got := len(net.ObjectsOfType(TypeUser)); got != cfg.NumUsers {
+		t.Errorf("users = %d", got)
+	}
+	if got := len(net.ObjectsOfType(TypeVideo)); got != cfg.NumVideos {
+		t.Errorf("videos = %d", got)
+	}
+	if got := len(net.ObjectsOfType(TypeComment)); got != cfg.NumComments {
+		t.Errorf("comments = %d", got)
+	}
+	// Attribute incompleteness pattern: every video has text + length; only
+	// some users have profiles; comments carry nothing.
+	vt, _ := net.AttrID(AttrVideoText)
+	cl, _ := net.AttrID(AttrClipLength)
+	pr, _ := net.AttrID(AttrProfile)
+	for _, v := range net.ObjectsOfType(TypeVideo) {
+		if !net.HasObservation(vt, v) || !net.HasObservation(cl, v) {
+			t.Fatal("video missing attributes")
+		}
+	}
+	profiled := 0
+	for _, u := range net.ObjectsOfType(TypeUser) {
+		if net.HasObservation(pr, u) {
+			profiled++
+		}
+		if net.HasObservation(vt, u) || net.HasObservation(cl, u) {
+			t.Fatal("user carries video attributes")
+		}
+	}
+	if profiled == 0 || profiled == cfg.NumUsers {
+		t.Errorf("profiles should be incomplete: %d of %d observed", profiled, cfg.NumUsers)
+	}
+	for _, cm := range net.ObjectsOfType(TypeComment) {
+		for a := 0; a < net.NumAttrs(); a++ {
+			if net.HasObservation(a, cm) {
+				t.Fatal("comment carries an attribute")
+			}
+		}
+	}
+	// Every object labeled.
+	if len(ds.Labels) != net.NumObjects() {
+		t.Errorf("labels cover %d of %d objects", len(ds.Labels), net.NumObjects())
+	}
+}
+
+func TestSocialSchemaWellFormed(t *testing.T) {
+	ds, err := Social(smallSocial(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := hin.InferSchema(ds.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][2]string{
+		RelUploads:    {TypeUser, TypeVideo},
+		RelUploadedBy: {TypeVideo, TypeUser},
+		RelLike:       {TypeUser, TypeVideo},
+		RelLikedBy:    {TypeVideo, TypeUser},
+		RelPost:       {TypeUser, TypeComment},
+		RelPostedBy:   {TypeComment, TypeUser},
+		RelOn:         {TypeComment, TypeVideo},
+		RelFriend:     {TypeUser, TypeUser},
+	}
+	got := map[string][2]string{}
+	for _, sig := range schema.Relations {
+		got[sig.Relation] = [2]string{sig.SrcType, sig.DstType}
+	}
+	for rel, pair := range want {
+		if got[rel] != pair {
+			t.Errorf("relation %s signature = %v, want %v", rel, got[rel], pair)
+		}
+	}
+	if err := schema.Validate(ds.Net); err != nil {
+		t.Errorf("schema self-validation failed: %v", err)
+	}
+}
+
+func TestSocialDeterministicSeed(t *testing.T) {
+	a, err := Social(smallSocial(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Social(smallSocial(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, _ := a.Net.MarshalJSON()
+	db, _ := b.Net.MarshalJSON()
+	if string(da) != string(db) {
+		t.Error("same seed should generate identical social networks")
+	}
+}

@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"fmt"
+)
+
+// AdjustedRandIndex computes the chance-corrected Rand index between two
+// labelings of the same objects. 1 for identical partitions (up to
+// renaming), ≈0 for independent ones, negative for anti-correlated ones.
+// A standard companion to NMI for clustering evaluation.
+func AdjustedRandIndex(pred, truth []int) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("eval: ARI length mismatch %d vs %d", len(pred), len(truth))
+	}
+	n := len(pred)
+	if n == 0 {
+		return 0, fmt.Errorf("eval: ARI of empty labeling")
+	}
+	joint := make(map[[2]int]float64)
+	rows := make(map[int]float64)
+	cols := make(map[int]float64)
+	for i := range pred {
+		joint[[2]int{pred[i], truth[i]}]++
+		rows[pred[i]]++
+		cols[truth[i]]++
+	}
+	choose2 := func(x float64) float64 { return x * (x - 1) / 2 }
+	var sumJoint, sumRows, sumCols float64
+	for _, c := range joint {
+		sumJoint += choose2(c)
+	}
+	for _, c := range rows {
+		sumRows += choose2(c)
+	}
+	for _, c := range cols {
+		sumCols += choose2(c)
+	}
+	total := choose2(float64(n))
+	if total == 0 {
+		return 0, fmt.Errorf("eval: ARI needs ≥ 2 objects")
+	}
+	expected := sumRows * sumCols / total
+	maxIndex := (sumRows + sumCols) / 2
+	if maxIndex == expected {
+		// Degenerate partitions (e.g. both single-cluster): define as 0.
+		return 0, nil
+	}
+	return (sumJoint - expected) / (maxIndex - expected), nil
+}
+
+// Purity computes the weighted fraction of objects sitting in their
+// cluster's majority ground-truth class. 1 for perfect (possibly
+// over-split) clusterings; tends to 1 trivially as the number of predicted
+// clusters grows, so read it together with NMI/ARI.
+func Purity(pred, truth []int) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("eval: purity length mismatch %d vs %d", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, fmt.Errorf("eval: purity of empty labeling")
+	}
+	counts := make(map[int]map[int]int)
+	for i := range pred {
+		m := counts[pred[i]]
+		if m == nil {
+			m = make(map[int]int)
+			counts[pred[i]] = m
+		}
+		m[truth[i]]++
+	}
+	var correct int
+	for _, m := range counts {
+		best := 0
+		for _, c := range m {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(pred)), nil
+}

@@ -1,0 +1,183 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestARIIdentical(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2, 2}
+	got, err := AdjustedRandIndex(labels, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("ARI(x,x) = %v", got)
+	}
+	// Renamed partition is still perfect.
+	renamed := []int{5, 5, 3, 3, 9, 9}
+	got, err = AdjustedRandIndex(renamed, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("ARI under renaming = %v", got)
+	}
+}
+
+func TestARIKnownValue(t *testing.T) {
+	// Classic example: pred = {a,a,b,b,b,c}, truth = {x,x,x,y,y,y}.
+	pred := []int{0, 0, 1, 1, 1, 2}
+	truth := []int{0, 0, 0, 1, 1, 1}
+	// Contingency: c(0,·)=(2,0), c(1,·)=(1,2), c(2,·)=(0,1).
+	// sumJoint = 1 + (0+1) = 2; rows: C(2,2)+C(3,2)+C(1,2) = 1+3+0 = 4;
+	// cols: C(3,2)+C(3,2) = 6; total = C(6,2) = 15.
+	// expected = 4·6/15 = 1.6; max = 5; ARI = (2−1.6)/(5−1.6) = 0.1176…
+	got, err := AdjustedRandIndex(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (2.0 - 1.6) / (5.0 - 1.6)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ARI = %v, want %v", got, want)
+	}
+}
+
+func TestARIDegenerate(t *testing.T) {
+	// Both sides one cluster: convention 0.
+	got, err := AdjustedRandIndex([]int{0, 0, 0}, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("degenerate ARI = %v", got)
+	}
+}
+
+func TestARIErrors(t *testing.T) {
+	if _, err := AdjustedRandIndex([]int{0}, []int{0, 1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := AdjustedRandIndex(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := AdjustedRandIndex([]int{0}, []int{0}); err == nil {
+		t.Error("single object should error")
+	}
+}
+
+func TestARIBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(60)
+		pred := make([]int, n)
+		truth := make([]int, n)
+		for i := range pred {
+			pred[i] = rng.Intn(4)
+			truth[i] = rng.Intn(4)
+		}
+		v, err := AdjustedRandIndex(pred, truth)
+		if err != nil {
+			return false
+		}
+		// ARI ≤ 1 always; can be slightly negative for anti-correlation.
+		return v <= 1+1e-12 && v >= -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestARISymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(3)
+			b[i] = rng.Intn(3)
+		}
+		x, err1 := AdjustedRandIndex(a, b)
+		y, err2 := AdjustedRandIndex(b, a)
+		return err1 == nil && err2 == nil && math.Abs(x-y) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	// Clusters: {0,0,1} vs truth {a,a,b} → cluster0 majority a (2), cluster1
+	// majority b (1) → purity 1.
+	got, err := Purity([]int{0, 0, 1}, []int{7, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("purity = %v", got)
+	}
+	// Mixed cluster: {0,0,0,0} truth {a,a,b,c} → 2/4.
+	got, err = Purity([]int{0, 0, 0, 0}, []int{1, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Errorf("purity = %v", got)
+	}
+}
+
+func TestPurityOverSplitIsOne(t *testing.T) {
+	// Singleton clusters are trivially pure — documented caveat.
+	pred := []int{0, 1, 2, 3}
+	truth := []int{0, 0, 1, 1}
+	got, err := Purity(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("singleton purity = %v", got)
+	}
+}
+
+func TestPurityErrors(t *testing.T) {
+	if _, err := Purity([]int{0}, []int{0, 1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Purity(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestPurityAtLeastLargestClassFraction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(50)
+		pred := make([]int, n)
+		truth := make([]int, n)
+		classCount := map[int]int{}
+		for i := range pred {
+			pred[i] = rng.Intn(3)
+			truth[i] = rng.Intn(3)
+			classCount[truth[i]]++
+		}
+		largest := 0
+		for _, c := range classCount {
+			if c > largest {
+				largest = c
+			}
+		}
+		p, err := Purity(pred, truth)
+		if err != nil {
+			return false
+		}
+		// Per-cluster majorities sum to at least the global majority, so
+		// purity is bounded below by the largest class fraction.
+		return p+1e-12 >= float64(largest)/float64(n) && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package hin
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if Categorical.String() != "categorical" || Numeric.String() != "numeric" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind should show its value")
+	}
+}
+
+func TestRelationsAndAttrsAccessors(t *testing.T) {
+	net := buildToy(t)
+	rels := net.Relations()
+	if len(rels) != net.NumRelations() {
+		t.Error("Relations length mismatch")
+	}
+	for r, name := range rels {
+		if net.RelationName(r) != name {
+			t.Error("Relations order mismatch")
+		}
+	}
+	attrs := net.Attrs()
+	if len(attrs) != net.NumAttrs() {
+		t.Error("Attrs length mismatch")
+	}
+	for a, spec := range attrs {
+		if net.Attr(a) != spec {
+			t.Error("Attrs order mismatch")
+		}
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	net := buildToy(t)
+	var buf bytes.Buffer
+	n, err := net.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) || buf.Len() == 0 {
+		t.Errorf("WriteTo reported %d bytes for %d written", n, buf.Len())
+	}
+	back, err := FromJSON(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumObjects() != net.NumObjects() {
+		t.Error("WriteTo stream does not round-trip")
+	}
+}
+
+func TestSaveFileErrorPath(t *testing.T) {
+	net := buildToy(t)
+	if err := net.SaveFile("/nonexistent-dir/zzz/net.json"); err == nil {
+		t.Error("writing to a bogus path should fail")
+	}
+	if _, err := LoadFile("/nonexistent-dir/zzz/net.json"); err == nil {
+		t.Error("loading a bogus path should fail")
+	}
+}

@@ -1,0 +1,79 @@
+package hin
+
+import "testing"
+
+func TestFilterEdgesKeepAll(t *testing.T) {
+	net := buildToy(t)
+	filtered, err := FilterEdges(net, func(Edge) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNetworksEqual(t, net, filtered)
+}
+
+func TestFilterEdgesDropRelation(t *testing.T) {
+	net := buildToy(t)
+	writeRel, _ := net.RelationID("write")
+	filtered, err := FilterEdges(net, func(e Edge) bool { return e.Rel != writeRel })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Objects and index space preserved.
+	if filtered.NumObjects() != net.NumObjects() {
+		t.Fatal("object count changed")
+	}
+	for v := 0; v < net.NumObjects(); v++ {
+		if filtered.Object(v).ID != net.Object(v).ID {
+			t.Fatal("object index space changed")
+		}
+	}
+	// Relation index space preserved even though 'write' lost all edges.
+	if filtered.NumRelations() != net.NumRelations() {
+		t.Fatalf("relation count changed: %d vs %d", filtered.NumRelations(), net.NumRelations())
+	}
+	fr, ok := filtered.RelationID("write")
+	if !ok || fr != writeRel {
+		t.Fatal("relation id for write changed")
+	}
+	// No write edges remain; everything else intact.
+	for _, e := range filtered.Edges() {
+		if e.Rel == writeRel {
+			t.Fatal("write edge survived the filter")
+		}
+	}
+	wantRemaining := 0
+	for _, e := range net.Edges() {
+		if e.Rel != writeRel {
+			wantRemaining++
+		}
+	}
+	if filtered.NumEdges() != wantRemaining {
+		t.Fatalf("edges = %d, want %d", filtered.NumEdges(), wantRemaining)
+	}
+	// Observations preserved.
+	text, _ := filtered.AttrID("text")
+	p1, _ := filtered.IndexOf("p1")
+	if len(filtered.TermCounts(text, p1)) == 0 {
+		t.Fatal("observations lost by filter")
+	}
+}
+
+func TestFilterEdgesDropAll(t *testing.T) {
+	net := buildToy(t)
+	filtered, err := FilterEdges(net, func(Edge) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered.NumEdges() != 0 {
+		t.Fatal("edges survived drop-all filter")
+	}
+	if filtered.NumObjects() != net.NumObjects() {
+		t.Fatal("objects changed")
+	}
+}
+
+func TestFilterEdgesNil(t *testing.T) {
+	if _, err := FilterEdges(nil, func(Edge) bool { return true }); err == nil {
+		t.Error("nil network should error")
+	}
+}

@@ -1,0 +1,160 @@
+package hin
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// networkJSON is the on-disk representation: self-describing, stable across
+// versions of the in-memory layout, and editable by hand for small networks.
+type networkJSON struct {
+	Objects    []objectJSON `json:"objects"`
+	Links      []linkJSON   `json:"links"`
+	Attributes []attrJSON   `json:"attributes"`
+}
+
+type objectJSON struct {
+	ID      string               `json:"id"`
+	Type    string               `json:"type"`
+	Terms   map[string][]tcJSON  `json:"terms,omitempty"`   // attr name → term counts
+	Numeric map[string][]float64 `json:"numeric,omitempty"` // attr name → observations
+}
+
+type tcJSON struct {
+	Term  int     `json:"t"`
+	Count float64 `json:"c"`
+}
+
+type linkJSON struct {
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	Relation string  `json:"rel"`
+	Weight   float64 `json:"w"`
+}
+
+type attrJSON struct {
+	Name      string `json:"name"`
+	Kind      string `json:"kind"` // "categorical" | "numeric"
+	VocabSize int    `json:"vocab,omitempty"`
+}
+
+// MarshalJSON serializes the network.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	doc := networkJSON{}
+	for _, spec := range n.attrs {
+		doc.Attributes = append(doc.Attributes, attrJSON{
+			Name:      spec.Name,
+			Kind:      spec.Kind.String(),
+			VocabSize: spec.VocabSize,
+		})
+	}
+	for v, o := range n.objects {
+		oj := objectJSON{ID: o.ID, Type: o.Type}
+		for a, spec := range n.attrs {
+			switch spec.Kind {
+			case Categorical:
+				if tcs := n.catObs[a][v]; len(tcs) > 0 {
+					if oj.Terms == nil {
+						oj.Terms = make(map[string][]tcJSON)
+					}
+					list := make([]tcJSON, len(tcs))
+					for i, tc := range tcs {
+						list[i] = tcJSON{Term: tc.Term, Count: tc.Count}
+					}
+					oj.Terms[spec.Name] = list
+				}
+			case Numeric:
+				if xs := n.numObs[a][v]; len(xs) > 0 {
+					if oj.Numeric == nil {
+						oj.Numeric = make(map[string][]float64)
+					}
+					oj.Numeric[spec.Name] = xs
+				}
+			}
+		}
+		doc.Objects = append(doc.Objects, oj)
+	}
+	for _, e := range n.edges {
+		doc.Links = append(doc.Links, linkJSON{
+			From:     n.objects[e.From].ID,
+			To:       n.objects[e.To].ID,
+			Relation: n.relations[e.Rel],
+			Weight:   e.Weight,
+		})
+	}
+	return json.Marshal(doc)
+}
+
+// FromJSON parses a network serialized by MarshalJSON, re-running full
+// Builder validation.
+func FromJSON(data []byte) (*Network, error) {
+	var doc networkJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("hin: parse network JSON: %w", err)
+	}
+	b := NewBuilder()
+	for _, aj := range doc.Attributes {
+		var kind Kind
+		switch aj.Kind {
+		case "categorical":
+			kind = Categorical
+		case "numeric":
+			kind = Numeric
+		default:
+			return nil, fmt.Errorf("hin: unknown attribute kind %q", aj.Kind)
+		}
+		b.DeclareAttribute(AttrSpec{Name: aj.Name, Kind: kind, VocabSize: aj.VocabSize})
+	}
+	for _, oj := range doc.Objects {
+		b.AddObject(oj.ID, oj.Type)
+	}
+	for _, oj := range doc.Objects {
+		for attr, tcs := range oj.Terms {
+			for _, tc := range tcs {
+				b.AddTermCount(oj.ID, attr, tc.Term, tc.Count)
+			}
+		}
+		for attr, xs := range oj.Numeric {
+			for _, x := range xs {
+				b.AddNumeric(oj.ID, attr, x)
+			}
+		}
+	}
+	for _, lj := range doc.Links {
+		b.AddLink(lj.From, lj.To, lj.Relation, lj.Weight)
+	}
+	return b.Build()
+}
+
+// WriteTo streams the JSON encoding to w.
+func (n *Network) WriteTo(w io.Writer) (int64, error) {
+	data, err := n.MarshalJSON()
+	if err != nil {
+		return 0, err
+	}
+	m, err := w.Write(data)
+	return int64(m), err
+}
+
+// SaveFile writes the network to a JSON file.
+func (n *Network) SaveFile(path string) error {
+	data, err := n.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("hin: encode network: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("hin: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile reads a network from a JSON file.
+func LoadFile(path string) (*Network, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("hin: read %s: %w", path, err)
+	}
+	return FromJSON(data)
+}

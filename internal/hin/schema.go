@@ -1,0 +1,99 @@
+package hin
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RelationSignature is the typed endpoint pattern of a relation: every edge
+// of the relation goes from SrcType to DstType. This is the paper's §2.1
+// formalism — "if a relation exists from type A to type B, denoted ARB" —
+// made checkable.
+type RelationSignature struct {
+	Relation string
+	SrcType  string
+	DstType  string
+}
+
+// Schema is the typed structure of a network: object types and the
+// signature of every relation.
+type Schema struct {
+	ObjectTypes []string
+	Relations   []RelationSignature
+}
+
+// InferSchema derives the schema from a network's edges. It fails when a
+// relation connects more than one (source type, target type) pair — a
+// malformed heterogeneous network under the paper's model, where relation
+// semantics are tied to the types they join. Relations with no edges are
+// reported with empty types.
+func InferSchema(n *Network) (*Schema, error) {
+	if n == nil {
+		return nil, fmt.Errorf("hin: InferSchema on nil network")
+	}
+	s := &Schema{ObjectTypes: n.Types()}
+	sigs := make([]RelationSignature, n.NumRelations())
+	seen := make([]bool, n.NumRelations())
+	for _, e := range n.Edges() {
+		src, dst := n.TypeOf(e.From), n.TypeOf(e.To)
+		if !seen[e.Rel] {
+			sigs[e.Rel] = RelationSignature{Relation: n.RelationName(e.Rel), SrcType: src, DstType: dst}
+			seen[e.Rel] = true
+			continue
+		}
+		if sigs[e.Rel].SrcType != src || sigs[e.Rel].DstType != dst {
+			return nil, fmt.Errorf("hin: relation %q joins both (%s→%s) and (%s→%s)",
+				n.RelationName(e.Rel), sigs[e.Rel].SrcType, sigs[e.Rel].DstType, src, dst)
+		}
+	}
+	for r := range sigs {
+		if !seen[r] {
+			sigs[r] = RelationSignature{Relation: n.RelationName(r)}
+		}
+	}
+	s.Relations = sigs
+	return s, nil
+}
+
+// Validate checks a network against an expected schema: every relation's
+// edges must match the declared signature. Relations present in the network
+// but absent from the schema are rejected.
+func (s *Schema) Validate(n *Network) error {
+	if n == nil {
+		return fmt.Errorf("hin: schema validation on nil network")
+	}
+	bySig := make(map[string]RelationSignature, len(s.Relations))
+	for _, sig := range s.Relations {
+		bySig[sig.Relation] = sig
+	}
+	for _, e := range n.Edges() {
+		name := n.RelationName(e.Rel)
+		sig, ok := bySig[name]
+		if !ok {
+			return fmt.Errorf("hin: relation %q not declared in schema", name)
+		}
+		src, dst := n.TypeOf(e.From), n.TypeOf(e.To)
+		if sig.SrcType != src || sig.DstType != dst {
+			return fmt.Errorf("hin: edge %s→%s violates %q signature %s→%s",
+				src, dst, name, sig.SrcType, sig.DstType)
+		}
+	}
+	return nil
+}
+
+// String renders the schema as sorted "rel: src → dst" lines.
+func (s *Schema) String() string {
+	lines := make([]string, 0, len(s.Relations)+1)
+	lines = append(lines, "types: "+strings.Join(s.ObjectTypes, ", "))
+	sigs := append([]RelationSignature(nil), s.Relations...)
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i].Relation < sigs[j].Relation })
+	for _, sig := range sigs {
+		if sig.SrcType == "" && sig.DstType == "" {
+			lines = append(lines, fmt.Sprintf("%s: (no edges)", sig.Relation))
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%s: %s -> %s", sig.Relation, sig.SrcType, sig.DstType))
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,121 @@
+package hin
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInferSchemaToy(t *testing.T) {
+	net := buildToy(t)
+	schema, err := InferSchema(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema.ObjectTypes) != 3 {
+		t.Errorf("types = %v", schema.ObjectTypes)
+	}
+	got := map[string][2]string{}
+	for _, sig := range schema.Relations {
+		got[sig.Relation] = [2]string{sig.SrcType, sig.DstType}
+	}
+	want := map[string][2]string{
+		"write":        {"author", "paper"},
+		"written_by":   {"paper", "author"},
+		"published_by": {"paper", "venue"},
+		"publish":      {"venue", "paper"},
+	}
+	for rel, pair := range want {
+		if got[rel] != pair {
+			t.Errorf("%s = %v, want %v", rel, got[rel], pair)
+		}
+	}
+	if err := schema.Validate(net); err != nil {
+		t.Errorf("self-validation failed: %v", err)
+	}
+	if s := schema.String(); !strings.Contains(s, "write: author -> paper") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestInferSchemaRejectsMixedRelation(t *testing.T) {
+	b := NewBuilder()
+	b.AddObject("a", "alpha")
+	b.AddObject("b", "beta")
+	b.AddObject("c", "gamma")
+	b.AddLink("a", "b", "touches", 1)
+	b.AddLink("a", "c", "touches", 1) // same relation, different target type
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InferSchema(net); err == nil {
+		t.Error("mixed-signature relation should be rejected")
+	}
+}
+
+func TestSchemaValidateRejectsViolations(t *testing.T) {
+	net := buildToy(t)
+	schema, err := InferSchema(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A network using an undeclared relation fails.
+	b := NewBuilder()
+	b.AddObject("x", "author")
+	b.AddObject("y", "paper")
+	b.AddLink("x", "y", "mystery", 1)
+	other, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schema.Validate(other); err == nil {
+		t.Error("undeclared relation should fail validation")
+	}
+	// A network whose edge types contradict the signature fails.
+	b2 := NewBuilder()
+	b2.AddObject("x", "venue") // wrong: write is author → paper
+	b2.AddObject("y", "paper")
+	b2.AddLink("x", "y", "write", 1)
+	other2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schema.Validate(other2); err == nil {
+		t.Error("signature violation should fail validation")
+	}
+}
+
+func TestInferSchemaNilAndEdgeless(t *testing.T) {
+	if _, err := InferSchema(nil); err == nil {
+		t.Error("nil network should error")
+	}
+	if (&Schema{}).Validate(nil) == nil {
+		t.Error("nil network validation should error")
+	}
+	// A relation with edges removed still appears, with empty types.
+	net := buildToy(t)
+	writeRel, _ := net.RelationID("write")
+	filtered, err := FilterEdges(net, func(e Edge) bool { return e.Rel != writeRel })
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := InferSchema(filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, sig := range schema.Relations {
+		if sig.Relation == "write" {
+			found = true
+			if sig.SrcType != "" || sig.DstType != "" {
+				t.Errorf("edgeless relation should have empty types, got %+v", sig)
+			}
+		}
+	}
+	if !found {
+		t.Error("edgeless relation missing from schema")
+	}
+	if !strings.Contains(schema.String(), "(no edges)") {
+		t.Error("String() should mark edgeless relations")
+	}
+}

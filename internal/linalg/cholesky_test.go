@@ -1,0 +1,124 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4, 2], [2, 3]] has L = [[2, 0], [1, √2]].
+	a, _ := NewMatrixFrom([][]float64{{4, 2}, {2, 3}})
+	f, err := FactorizeCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.l.At(0, 0)-2) > 1e-12 || math.Abs(f.l.At(1, 0)-1) > 1e-12 ||
+		math.Abs(f.l.At(1, 1)-math.Sqrt2) > 1e-12 || f.l.At(0, 1) != 0 {
+		t.Errorf("factor = %v", f.l)
+	}
+	// det(A) = 8 → log det = ln 8.
+	if math.Abs(f.LogDet()-math.Log(8)) > 1e-12 {
+		t.Errorf("LogDet = %v", f.LogDet())
+	}
+}
+
+func TestCholeskySolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		ax := a.MulVec(x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8*math.Max(1, math.Abs(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskyMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		a := randomSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xc, err := SolveSPD(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xl, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xc {
+			if math.Abs(xc[i]-xl[i]) > 1e-8*math.Max(1, math.Abs(xl[i])) {
+				t.Fatalf("Cholesky and LU disagree at %d: %v vs %v", i, xc[i], xl[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	// Negative definite.
+	nd, _ := NewMatrixFrom([][]float64{{-1, 0}, {0, -2}})
+	if _, err := FactorizeCholesky(nd); err == nil {
+		t.Error("negative definite matrix should be rejected")
+	}
+	// Indefinite.
+	ind, _ := NewMatrixFrom([][]float64{{1, 2}, {2, 1}})
+	if _, err := FactorizeCholesky(ind); err == nil {
+		t.Error("indefinite matrix should be rejected")
+	}
+	// Singular PSD.
+	psd, _ := NewMatrixFrom([][]float64{{1, 1}, {1, 1}})
+	if _, err := FactorizeCholesky(psd); err == nil {
+		t.Error("singular PSD matrix should be rejected")
+	}
+	// Non-square.
+	if _, err := FactorizeCholesky(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square should be rejected")
+	}
+}
+
+func TestCholeskySolveWrongRHS(t *testing.T) {
+	a := Identity(3)
+	f, err := FactorizeCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1}); err == nil {
+		t.Error("rhs length mismatch should error")
+	}
+}
+
+func BenchmarkCholeskySolve8(b *testing.B) {
+	rng := rand.New(rand.NewSource(32))
+	a := randomSPD(rng, 8)
+	rhs := make([]float64, 8)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveSPD(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

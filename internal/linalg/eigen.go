@@ -1,0 +1,217 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the full eigen-decomposition of a symmetric matrix using
+// the cyclic Jacobi rotation method: A = V·diag(λ)·Vᵀ with orthonormal V.
+// Eigenpairs are returned sorted by descending eigenvalue.
+//
+// Jacobi is O(n³) per sweep but unconditionally stable and exact to machine
+// precision after convergence; it is used for the small systems in tests and
+// for moderate spectral-baseline instances. For the large weather similarity
+// matrices use TopEigen (power iteration with deflation).
+func EigenSym(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("linalg: EigenSym needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if !a.IsSymmetric(1e-9 * math.Max(1, a.MaxAbs())) {
+		return nil, nil, fmt.Errorf("linalg: EigenSym needs a symmetric matrix")
+	}
+	n := a.Rows
+	w := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius norm.
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += 2 * w.At(i, j) * w.At(i, j)
+			}
+		}
+		if math.Sqrt(off) < 1e-12*math.Max(1, w.MaxAbs()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// Rotation angle.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply rotation to rows/cols p, q of w.
+				for i := 0; i < n; i++ {
+					wip := w.At(i, p)
+					wiq := w.At(i, q)
+					w.Set(i, p, c*wip-s*wiq)
+					w.Set(i, q, s*wip+c*wiq)
+				}
+				for i := 0; i < n; i++ {
+					wpi := w.At(p, i)
+					wqi := w.At(q, i)
+					w.Set(p, i, c*wpi-s*wqi)
+					w.Set(q, i, s*wpi+c*wqi)
+				}
+				// Accumulate eigenvectors.
+				for i := 0; i < n; i++ {
+					vip := v.At(i, p)
+					viq := v.At(i, q)
+					v.Set(i, p, c*vip-s*viq)
+					v.Set(i, q, s*vip+c*viq)
+				}
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	// Sort descending, permuting eigenvector columns accordingly.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// TopEigen computes the k algebraically-largest eigenpairs of a symmetric
+// matrix via shifted power iteration with Hotelling deflation. The shift
+// (a Gershgorin bound) makes the matrix positive definite so the dominant
+// eigenvalue of the shifted matrix corresponds to the algebraically largest
+// of the original — spectral clustering needs largest, not largest-magnitude.
+//
+// rngSeed seeds the deterministic start vectors. Accuracy is adequate for
+// clustering embeddings (the downstream k-means only needs the invariant
+// subspace, not digits of λ).
+func TopEigen(a *Matrix, k int, rngSeed int64) (values []float64, vectors *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("linalg: TopEigen needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if k <= 0 || k > n {
+		return nil, nil, fmt.Errorf("linalg: TopEigen k=%d out of range 1..%d", k, n)
+	}
+	// Gershgorin shift: shift = max_i Σ_j |a_ij| bounds |λ| so A + shift·I ⪰ 0.
+	var shift float64
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			rowSum += math.Abs(a.At(i, j))
+		}
+		if rowSum > shift {
+			shift = rowSum
+		}
+	}
+	shifted := a.Clone()
+	for i := 0; i < n; i++ {
+		shifted.Add(i, i, shift)
+	}
+
+	values = make([]float64, 0, k)
+	vectors = NewMatrix(n, k)
+	basis := make([][]float64, 0, k)
+
+	state := uint64(rngSeed)*2654435761 + 1
+	nextRand := func() float64 {
+		// xorshift64* — deterministic start vectors without importing math/rand.
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		return float64(state*2685821657736338717>>11) / float64(1<<53)
+	}
+
+	const maxIter = 3000
+	const tol = 1e-10
+	for comp := 0; comp < k; comp++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = nextRand() - 0.5
+		}
+		orthogonalize(x, basis)
+		normalize(x)
+		var lambda, prev float64
+		for iter := 0; iter < maxIter; iter++ {
+			y := shifted.MulVec(x)
+			orthogonalize(y, basis)
+			lambda = dot(x, y)
+			nrm := norm(y)
+			if nrm < 1e-300 {
+				// Vector annihilated: eigenvalue ≈ 0 in the deflated space.
+				break
+			}
+			for i := range y {
+				y[i] /= nrm
+			}
+			if iter > 0 && math.Abs(lambda-prev) <= tol*math.Max(1, math.Abs(lambda)) {
+				x = y
+				break
+			}
+			prev = lambda
+			x = y
+		}
+		basis = append(basis, x)
+		values = append(values, lambda-shift)
+		for i := 0; i < n; i++ {
+			vectors.Set(i, comp, x[i])
+		}
+	}
+	return values, vectors, nil
+}
+
+func orthogonalize(x []float64, basis [][]float64) {
+	// Two rounds of modified Gram–Schmidt for numerical robustness.
+	for round := 0; round < 2; round++ {
+		for _, b := range basis {
+			d := dot(x, b)
+			for i := range x {
+				x[i] -= d * b[i]
+			}
+		}
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+func normalize(a []float64) {
+	n := norm(a)
+	if n == 0 {
+		return
+	}
+	for i := range a {
+		a[i] /= n
+	}
+}

@@ -1,0 +1,324 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+func TestDigammaKnownValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{1, -EulerGamma},
+		{0.5, -EulerGamma - 2*math.Ln2},
+		{2, 1 - EulerGamma},
+		{3, 1.5 - EulerGamma},
+		{4, 1 + 0.5 + 1.0/3 - EulerGamma},
+		{10, 2.2517525890667211},
+		{100, 4.6001618527380874002},
+	}
+	for _, c := range cases {
+		got := Digamma(c.x)
+		if !almostEqual(got, c.want, 1e-10) {
+			t.Errorf("Digamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestDigammaRecurrenceProperty(t *testing.T) {
+	// ψ(x+1) = ψ(x) + 1/x across many magnitudes.
+	f := func(raw float64) bool {
+		x := math.Abs(raw)
+		x = math.Mod(x, 50) + 0.01 // keep in (0.01, 50.01)
+		lhs := Digamma(x + 1)
+		rhs := Digamma(x) + 1/x
+		return almostEqual(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDigammaMatchesLgammaDerivative(t *testing.T) {
+	// Central finite difference of math.Lgamma should match ψ.
+	for _, x := range []float64{0.3, 0.9, 1.5, 2.7, 5.0, 12.5, 40, 123.4} {
+		h := 1e-6 * math.Max(1, x)
+		lg1, _ := math.Lgamma(x + h)
+		lg0, _ := math.Lgamma(x - h)
+		fd := (lg1 - lg0) / (2 * h)
+		if !almostEqual(Digamma(x), fd, 1e-5) {
+			t.Errorf("Digamma(%v)=%v, finite diff=%v", x, Digamma(x), fd)
+		}
+	}
+}
+
+func TestDigammaInvalid(t *testing.T) {
+	for _, x := range []float64{0, -1, -0.5, math.NaN()} {
+		if !math.IsNaN(Digamma(x)) {
+			t.Errorf("Digamma(%v) should be NaN", x)
+		}
+	}
+}
+
+func TestTrigammaKnownValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{1, math.Pi * math.Pi / 6},
+		{0.5, math.Pi * math.Pi / 2},
+		{2, math.Pi*math.Pi/6 - 1},
+		{10, 0.10516633568168575},
+	}
+	for _, c := range cases {
+		got := Trigamma(c.x)
+		if !almostEqual(got, c.want, 1e-10) {
+			t.Errorf("Trigamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestTrigammaRecurrenceProperty(t *testing.T) {
+	// ψ′(x+1) = ψ′(x) − 1/x².
+	f := func(raw float64) bool {
+		x := math.Abs(raw)
+		x = math.Mod(x, 40) + 0.05
+		lhs := Trigamma(x + 1)
+		rhs := Trigamma(x) - 1/(x*x)
+		return almostEqual(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrigammaIsDigammaDerivative(t *testing.T) {
+	for _, x := range []float64{0.4, 1.1, 3.3, 7.7, 25} {
+		h := 1e-5 * math.Max(1, x)
+		fd := (Digamma(x+h) - Digamma(x-h)) / (2 * h)
+		if !almostEqual(Trigamma(x), fd, 1e-4) {
+			t.Errorf("Trigamma(%v)=%v, finite diff=%v", x, Trigamma(x), fd)
+		}
+	}
+}
+
+func TestTrigammaPositive(t *testing.T) {
+	// ψ′ is positive and strictly decreasing on (0, ∞).
+	prev := math.Inf(1)
+	for x := 0.1; x < 30; x += 0.37 {
+		v := Trigamma(x)
+		if v <= 0 {
+			t.Fatalf("Trigamma(%v) = %v, want > 0", x, v)
+		}
+		if v >= prev {
+			t.Fatalf("Trigamma not decreasing at %v: %v >= %v", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestLogBetaAgainstGamma(t *testing.T) {
+	// B(a, b) = Γ(a)Γ(b)/Γ(a+b) for the bivariate case.
+	cases := [][2]float64{{1, 1}, {2, 3}, {0.5, 0.5}, {7.5, 2.25}}
+	for _, c := range cases {
+		want := LogGamma(c[0]) + LogGamma(c[1]) - LogGamma(c[0]+c[1])
+		got := LogBeta(c[:])
+		if !almostEqual(got, want, 1e-12) {
+			t.Errorf("LogBeta(%v) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestLogBetaUniformDirichlet(t *testing.T) {
+	// B(1,1,...,1) over K categories = 1/Γ(K) · Γ(1)^K → ln B = −ln Γ(K).
+	for K := 2; K <= 10; K++ {
+		alpha := make([]float64, K)
+		for i := range alpha {
+			alpha[i] = 1
+		}
+		want := -LogGamma(float64(K))
+		if got := LogBeta(alpha); !almostEqual(got, want, 1e-12) {
+			t.Errorf("LogBeta(ones(%d)) = %v, want %v", K, got, want)
+		}
+	}
+}
+
+func TestLogBetaInvalid(t *testing.T) {
+	if !math.IsNaN(LogBeta(nil)) {
+		t.Error("LogBeta(nil) should be NaN")
+	}
+	if !math.IsNaN(LogBeta([]float64{1, 0})) {
+		t.Error("LogBeta with zero component should be NaN")
+	}
+	if !math.IsNaN(LogBeta([]float64{1, -2})) {
+		t.Error("LogBeta with negative component should be NaN")
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	if got := LogSumExp([]float64{0, 0}); !almostEqual(got, math.Ln2, 1e-12) {
+		t.Errorf("LogSumExp([0,0]) = %v, want ln 2", got)
+	}
+	// Large offsets must not overflow.
+	if got := LogSumExp([]float64{1000, 1000}); !almostEqual(got, 1000+math.Ln2, 1e-9) {
+		t.Errorf("LogSumExp([1000,1000]) = %v", got)
+	}
+	if got := LogSumExp([]float64{-1000, -1001}); math.IsInf(got, -1) || math.IsNaN(got) {
+		t.Errorf("LogSumExp underflowed: %v", got)
+	}
+	if got := LogSumExp(nil); !math.IsInf(got, -1) {
+		t.Errorf("LogSumExp(nil) = %v, want -Inf", got)
+	}
+}
+
+func TestLogSumExpShiftInvariance(t *testing.T) {
+	// LSE(x + c) = LSE(x) + c.
+	f := func(a, b, c float64) bool {
+		a = math.Mod(a, 20)
+		b = math.Mod(b, 20)
+		c = math.Mod(c, 20)
+		base := LogSumExp([]float64{a, b})
+		shifted := LogSumExp([]float64{a + c, b + c})
+		return almostEqual(shifted, base+c, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossEntropyIdentities(t *testing.T) {
+	p := []float64{0.25, 0.25, 0.5}
+	// H(p,p) = H(p).
+	if !almostEqual(CrossEntropy(p, p), Entropy(p), 1e-12) {
+		t.Error("H(p,p) != H(p)")
+	}
+	// Gibbs: H(p,q) >= H(p) with equality iff p == q.
+	q := []float64{0.3, 0.3, 0.4}
+	if CrossEntropy(p, q) < Entropy(p) {
+		t.Error("Gibbs inequality violated")
+	}
+	// Cross entropy to a point mass the support of which covers p's mass is infinite.
+	point := []float64{1, 0, 0}
+	if !math.IsInf(CrossEntropy(p, point), 1) {
+		t.Error("expected +Inf cross entropy against zero-support q")
+	}
+}
+
+func TestCrossEntropyGibbsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		p := randomSimplex(rng, 4)
+		q := randomSimplex(rng, 4)
+		if CrossEntropy(p, q)+1e-12 < Entropy(p) {
+			t.Fatalf("H(p,q) < H(p) for p=%v q=%v", p, q)
+		}
+		// D(p||q) = H(p,q) − H(p).
+		want := CrossEntropy(p, q) - Entropy(p)
+		if !almostEqual(KLDivergence(p, q), want, 1e-9) {
+			t.Fatalf("KL mismatch: %v vs %v", KLDivergence(p, q), want)
+		}
+	}
+}
+
+func randomSimplex(rng *rand.Rand, k int) []float64 {
+	v := make([]float64, k)
+	var sum float64
+	for i := range v {
+		v[i] = rng.Float64() + 1e-3
+		sum += v[i]
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+	return v
+}
+
+func TestXlogy(t *testing.T) {
+	if Xlogy(0, 0) != 0 {
+		t.Error("0 log 0 should be 0")
+	}
+	if !almostEqual(Xlogy(2, math.E), 2, 1e-12) {
+		t.Error("2 ln e != 2")
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	// Uniform maximizes entropy: H(uniform_K) = ln K.
+	for K := 2; K < 8; K++ {
+		u := make([]float64, K)
+		for i := range u {
+			u[i] = 1 / float64(K)
+		}
+		if !almostEqual(Entropy(u), math.Log(float64(K)), 1e-12) {
+			t.Errorf("H(uniform_%d) != ln %d", K, K)
+		}
+	}
+	if Entropy([]float64{1, 0, 0}) != 0 {
+		t.Error("point mass entropy should be 0")
+	}
+}
+
+func TestKahanSumAccuracy(t *testing.T) {
+	// 1 + 1e-16 added 1e6 times loses the small part under naive summation.
+	xs := make([]float64, 0, 1_000_001)
+	xs = append(xs, 1)
+	for i := 0; i < 1_000_000; i++ {
+		xs = append(xs, 1e-16)
+	}
+	got := KahanSum(xs)
+	want := 1 + 1e-10
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("KahanSum = %.18f, want %.18f", got, want)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almostEqual(Mean(xs), 5, 1e-12) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if !almostEqual(StdDev(xs), 2, 1e-12) {
+		t.Errorf("StdDev = %v", StdDev(xs))
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev(nil)) {
+		t.Error("Mean/StdDev of empty slice should be NaN")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func BenchmarkDigamma(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Digamma(1.0 + float64(i%100))
+	}
+}
+
+func BenchmarkTrigamma(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Trigamma(1.0 + float64(i%100))
+	}
+}
+
+func BenchmarkLogBetaK4(b *testing.B) {
+	alpha := []float64{1.5, 2.5, 3.5, 0.5}
+	for i := 0; i < b.N; i++ {
+		LogBeta(alpha)
+	}
+}

@@ -1,0 +1,169 @@
+package textgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewCorpusModelValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []Config{
+		{NumAreas: 0, TermsPerArea: 10, SharedTerms: 5, Specificity: 0.8, Concentration: 1},
+		{NumAreas: 4, TermsPerArea: 0, SharedTerms: 5, Specificity: 0.8, Concentration: 1},
+		{NumAreas: 4, TermsPerArea: 10, SharedTerms: -1, Specificity: 0.8, Concentration: 1},
+		{NumAreas: 4, TermsPerArea: 10, SharedTerms: 5, Specificity: 0, Concentration: 1},
+		{NumAreas: 4, TermsPerArea: 10, SharedTerms: 5, Specificity: 1.2, Concentration: 1},
+		{NumAreas: 4, TermsPerArea: 10, SharedTerms: 5, Specificity: 0.8, Concentration: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewCorpusModel(cfg, rng); err == nil {
+			t.Errorf("config %d should have been rejected: %+v", i, cfg)
+		}
+	}
+}
+
+func TestCorpusModelShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := Config{NumAreas: 4, TermsPerArea: 50, SharedTerms: 30, Specificity: 0.8, Concentration: 5}
+	m, err := NewCorpusModel(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.VocabSize != 4*50+30 {
+		t.Errorf("VocabSize = %d", m.VocabSize)
+	}
+	for a, dist := range m.AreaDist {
+		var sum, own, shared float64
+		for term, p := range dist.P {
+			sum += p
+			switch m.AreaOfTerm(term) {
+			case a:
+				own += p
+			case -1:
+				shared += p
+			default:
+				if p != 0 {
+					t.Fatalf("area %d puts mass %v on foreign term %d", a, p, term)
+				}
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("area %d distribution sums to %v", a, sum)
+		}
+		if math.Abs(own-0.8) > 1e-9 {
+			t.Errorf("area %d own-block mass = %v, want 0.8", a, own)
+		}
+		if math.Abs(shared-0.2) > 1e-9 {
+			t.Errorf("area %d shared mass = %v, want 0.2", a, shared)
+		}
+	}
+}
+
+func TestCorpusModelNoSharedBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := Config{NumAreas: 2, TermsPerArea: 20, SharedTerms: 0, Specificity: 0.7, Concentration: 2}
+	m, err := NewCorpusModel(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, dist := range m.AreaDist {
+		var sum float64
+		for term, p := range dist.P {
+			if p > 0 && m.AreaOfTerm(term) != a {
+				t.Fatalf("mass outside own block with no shared terms (term %d)", term)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("area %d sums to %v", a, sum)
+		}
+	}
+}
+
+func TestSampleTermCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, err := NewCorpusModel(DefaultConfig(4), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := m.SampleTermCounts(rng, []float64{1, 0, 0, 0}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, ownArea float64
+	for term, c := range counts {
+		if c <= 0 {
+			t.Fatal("non-positive count")
+		}
+		total += c
+		if m.AreaOfTerm(term) == 0 {
+			ownArea += c
+		} else if m.AreaOfTerm(term) >= 0 {
+			t.Fatalf("pure area-0 doc contains term of area %d", m.AreaOfTerm(term))
+		}
+	}
+	if total != 500 {
+		t.Errorf("total terms = %v, want 500", total)
+	}
+	// Specificity 0.8 → own-block fraction ≈ 0.8.
+	if frac := ownArea / total; math.Abs(frac-0.8) > 0.08 {
+		t.Errorf("own-area fraction = %v, want ≈ 0.8", frac)
+	}
+}
+
+func TestSampleTermCountsMixture(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, err := NewCorpusModel(DefaultConfig(2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := m.SampleTermCounts(rng, []float64{0.5, 0.5}, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perArea := map[int]float64{}
+	for term, c := range counts {
+		perArea[m.AreaOfTerm(term)] += c
+	}
+	// Both areas should appear with roughly equal mass.
+	if perArea[0] == 0 || perArea[1] == 0 {
+		t.Fatal("mixture sampling ignored one component")
+	}
+	ratio := perArea[0] / perArea[1]
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("area balance ratio = %v", ratio)
+	}
+}
+
+func TestSampleTermCountsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m, err := NewCorpusModel(DefaultConfig(3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SampleTermCounts(rng, []float64{1, 0}, 10); err == nil {
+		t.Error("wrong mixture length should error")
+	}
+	if _, err := m.SampleTermCounts(rng, []float64{0, 0, 0}, 10); err == nil {
+		t.Error("zero mixture should error")
+	}
+}
+
+func TestAreaOfTermBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := Config{NumAreas: 2, TermsPerArea: 10, SharedTerms: 5, Specificity: 0.9, Concentration: 1}
+	m, err := NewCorpusModel(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AreaOfTerm(-1) != -1 || m.AreaOfTerm(25) != -1 || m.AreaOfTerm(100) != -1 {
+		t.Error("out-of-range terms should map to -1")
+	}
+	if m.AreaOfTerm(0) != 0 || m.AreaOfTerm(9) != 0 || m.AreaOfTerm(10) != 1 || m.AreaOfTerm(19) != 1 {
+		t.Error("block mapping wrong")
+	}
+	if m.AreaOfTerm(20) != -1 {
+		t.Error("shared term should map to -1")
+	}
+}
