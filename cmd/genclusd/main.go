@@ -1,0 +1,72 @@
+// Command genclusd is the GenClus clustering service: a long-running HTTP
+// daemon that accepts network uploads, fits GenClus models on an async job
+// queue with a bounded worker pool, and serves the fitted results.
+//
+// Usage:
+//
+//	genclusd [-addr :8080] [-workers N] [-queue 64] [-ttl 1h]
+//	         [-max-body 33554432]
+//
+// See README.md for the API and curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"genclus/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent fit workers (default: number of CPUs)")
+		queue   = flag.Int("queue", 64, "job queue depth (submissions beyond it get 503)")
+		ttl     = flag.Duration("ttl", time.Hour, "evict finished jobs and idle networks after this long")
+		maxBody = flag.Int64("max-body", 32<<20, "maximum request body size in bytes")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		JobTTL:       *ttl,
+		MaxBodyBytes: *maxBody,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("genclusd listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		log.Fatalf("genclusd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Print("genclusd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "genclusd: shutdown: %v\n", err)
+	}
+	srv.Close() // aborts running fits and waits for workers to exit
+}

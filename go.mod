@@ -1,0 +1,3 @@
+module genclus
+
+go 1.24

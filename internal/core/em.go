@@ -58,48 +58,75 @@ func (acc *emAccum) merge(other *emAccum) {
 	}
 }
 
+// emChunkSize fixes the granularity of the β-statistics reduction
+// independently of Options.Parallelism: the object range is split into
+// chunks of this size, each chunk accumulates into its own emAccum, and the
+// accumulators merge in chunk order after all chunks finish. Worker count
+// only decides how many chunks run at once, never the shape of the floating
+// point summation tree — so a fit is bitwise identical for any Parallelism.
+const emChunkSize = 512
+
 // emIteration performs one E+M pass: responsibilities under (Θ_{t−1}, β_{t−1}),
 // then the simultaneous Θ and β updates of Eqs. 10–12 (generalized to any
 // set of categorical and Gaussian attributes). thetaOld must be a snapshot
 // of Θ_{t−1}; Θ_t is written into s.theta.
 func (s *state) emIteration(thetaOld [][]float64) {
 	n := s.net.NumObjects()
+	chunks := (n + emChunkSize - 1) / emChunkSize
+	if chunks < 1 {
+		chunks = 1
+	}
 	workers := s.opts.Parallelism
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > n {
-		workers = n
+	if workers > chunks {
+		workers = chunks
 	}
 
-	accums := make([]*emAccum, workers)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	accums := make([]*emAccum, chunks)
+	if workers == 1 {
+		// Serial path still accumulates per chunk so its summation tree
+		// matches the parallel path exactly.
+		for c := 0; c < chunks; c++ {
+			accums[c] = s.emChunk(thetaOld, c, n)
 		}
-		if lo >= hi {
-			accums[w] = s.newAccum()
-			continue
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for c := range next {
+					accums[c] = s.emChunk(thetaOld, c, n)
+				}
+			}()
 		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			acc := s.newAccum()
-			s.emRange(thetaOld, lo, hi, acc)
-			accums[w] = acc
-		}(w, lo, hi)
+		for c := 0; c < chunks; c++ {
+			next <- c
+		}
+		close(next)
+		wg.Wait()
 	}
-	wg.Wait()
 
 	total := accums[0]
 	for _, acc := range accums[1:] {
 		total.merge(acc)
 	}
 	s.mStepModels(total)
+}
+
+// emChunk runs emRange over chunk c of the object range.
+func (s *state) emChunk(thetaOld [][]float64, c, n int) *emAccum {
+	lo := c * emChunkSize
+	hi := lo + emChunkSize
+	if hi > n {
+		hi = n
+	}
+	acc := s.newAccum()
+	s.emRange(thetaOld, lo, hi, acc)
+	return acc
 }
 
 // emRange runs the E-step and Θ update for objects in [lo, hi), accumulating
@@ -263,9 +290,13 @@ func (s *state) mStepModels(acc *emAccum) {
 
 // runEM executes up to `iters` EM iterations (one cluster-optimization step
 // of Algorithm 1), stopping early once Θ moves less than opts.EMTol between
-// iterations. It returns the number of iterations actually run.
+// iterations or once s.ctx is cancelled. It returns the number of
+// iterations actually run.
 func (s *state) runEM(iters int) int {
 	for t := 0; t < iters; t++ {
+		if s.ctx.Err() != nil {
+			return t
+		}
 		old := cloneTheta(s.theta)
 		s.emIteration(old)
 		if s.opts.EMTol > 0 {

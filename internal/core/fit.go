@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -41,10 +42,30 @@ type Result struct {
 
 // Fit runs GenClus (Algorithm 1) on the network.
 func Fit(net *hin.Network, opts Options) (*Result, error) {
+	return FitContext(context.Background(), net, opts)
+}
+
+// FitContext is Fit with cooperative cancellation: the fit polls ctx
+// between EM iterations and between the steps of the outer alternation, and
+// returns ctx.Err() once it is cancelled. A cancelled fit returns no
+// partial Result. Progress, when set on opts, is invoked after
+// initialization and after every completed outer iteration (from the
+// calling goroutine, so the callback needs no synchronization with the fit
+// itself).
+func FitContext(ctx context.Context, net *hin.Network, opts Options) (*Result, error) {
 	if err := opts.validate(net); err != nil {
 		return nil, err
 	}
-	s := initializeState(net, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s := initializeState(ctx, net, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if opts.Progress != nil {
+		opts.Progress(Progress{Outer: 0, OuterTotal: opts.OuterIters})
+	}
 
 	var history []Snapshot
 	if opts.TrackHistory {
@@ -61,11 +82,20 @@ func Fit(net *hin.Network, opts Options) (*Result, error) {
 		prevGamma := append([]float64(nil), s.gamma...)
 		// Step 1: cluster optimization (EM on Θ, β with γ fixed).
 		s.runEM(opts.EMIters)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Step 2: link-type strength learning (Newton on γ with Θ fixed).
 		if opts.LearnGamma {
 			g2 = s.learnStrengths()
 		} else {
 			g2 = s.buildStrengthStats().pseudoLogLikelihood(s.gamma, opts.PriorSigma)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if opts.Progress != nil {
+			opts.Progress(Progress{Outer: outer + 1, OuterTotal: opts.OuterIters})
 		}
 		if opts.TrackHistory {
 			history = append(history, Snapshot{
@@ -108,19 +138,32 @@ func Fit(net *hin.Network, opts Options) (*Result, error) {
 
 // initializeState applies the §4.3 initialization policy: either a single
 // random start, or best-of-seeds (run a few EM steps from several random
-// starts and keep the one with the highest g₁).
-func initializeState(net *hin.Network, opts Options) *state {
+// starts and keep the one with the highest g₁). ctx aborts the candidate
+// EM runs early; the caller notices the cancellation right after.
+func initializeState(ctx context.Context, net *hin.Network, opts Options) *state {
 	if opts.InitSeeds <= 1 || opts.InitTheta != nil {
-		return newState(net, opts, opts.Seed, false)
+		s := newState(net, opts, opts.Seed, false)
+		s.ctx = ctx
+		return s
 	}
 	var best *state
 	bestG1 := math.Inf(-1)
 	for i := 0; i < opts.InitSeeds; i++ {
+		if i > 0 && ctx.Err() != nil {
+			break
+		}
 		// Seed 0 keeps the sorted quantile seeding of Gaussian components
 		// (ideal when attributes vary monotonically together); later seeds
 		// permute component means per attribute to explore other pairings.
 		cand := newState(net, opts, opts.Seed+int64(i)*1_000_003, i > 0)
+		cand.ctx = ctx
 		cand.runEM(opts.InitSeedSteps)
+		if best == nil {
+			// Fallback so a NaN objective on every candidate (possible with
+			// pathological numeric observations) still yields a state
+			// instead of a nil dereference downstream.
+			best = cand
+		}
 		if g1 := cand.objectiveG1(); g1 > bestG1 {
 			bestG1 = g1
 			best = cand

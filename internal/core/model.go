@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -36,6 +37,9 @@ type state struct {
 	opts  Options
 	attrs []int // dense attribute ids in play
 
+	// ctx aborts the fit between EM iterations; never nil.
+	ctx context.Context
+
 	theta [][]float64 // |V| × K
 	gamma []float64   // |R|
 
@@ -55,6 +59,7 @@ func newState(net *hin.Network, opts Options, seed int64, permuteGauss bool) *st
 	s := &state{
 		net:              net,
 		opts:             opts,
+		ctx:              context.Background(),
 		attrs:            opts.attrIDs(net),
 		rng:              rand.New(rand.NewSource(seed)),
 		cat:              make(map[int]*CatParams),

@@ -123,6 +123,20 @@ type Options struct {
 	// initialization (|V| rows of K non-negative entries; rows are floored
 	// and normalized). When set, InitSeeds is ignored.
 	InitTheta [][]float64
+
+	// Progress, when non-nil, is invoked by FitContext after initialization
+	// (Outer = 0) and after each completed outer iteration. It runs on the
+	// fitting goroutine and must return promptly.
+	Progress func(Progress)
+}
+
+// Progress is one fit progress report delivered to Options.Progress.
+type Progress struct {
+	// Outer counts completed outer iterations; 0 means initialization just
+	// finished. OuterTotal echoes Options.OuterIters (the fit may stop
+	// before reaching it when OuterTol triggers).
+	Outer      int
+	OuterTotal int
 }
 
 // DefaultOptions mirrors the paper's experimental configuration.
@@ -144,6 +158,11 @@ func DefaultOptions(k int) Options {
 		LearnGamma:    true,
 	}
 }
+
+// Validate checks the options against the network without fitting — the
+// genclusd API uses it to reject bad job submissions with a 4xx before
+// anything is queued. Fit repeats the same checks.
+func (o Options) Validate(net *hin.Network) error { return o.validate(net) }
 
 func (o Options) validate(net *hin.Network) error {
 	if net == nil {

@@ -87,12 +87,82 @@ func (n *Network) MarshalJSON() ([]byte, error) {
 	return json.Marshal(doc)
 }
 
+// Limits bounds what a decoded network may allocate, protecting callers
+// that decode untrusted input (the genclusd upload endpoint). A zero field
+// means "no limit" on that dimension. MaxVocab matters most: a declared
+// vocabulary size is an allocation amplifier — a few bytes of JSON make
+// every fit allocate K×VocabSize floats per categorical attribute.
+type Limits struct {
+	MaxObjects      int // objects in the network
+	MaxLinks        int // links in the network
+	MaxAttributes   int // declared attributes
+	MaxVocab        int // vocabulary size of any categorical attribute
+	MaxObservations int // total term-count entries plus numeric observations
+}
+
+// LimitError reports input rejected because it exceeds a Limits bound —
+// distinguishable (errors.As) from malformed-document errors so servers can
+// answer 413 instead of 400.
+type LimitError struct {
+	Dimension string // "objects", "links", "attributes", "vocabulary", "observations"
+	Got, Max  int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("hin: %d %s exceeds limit %d", e.Got, e.Dimension, e.Max)
+}
+
+func (l Limits) check(doc *networkJSON) error {
+	if l.MaxObjects > 0 && len(doc.Objects) > l.MaxObjects {
+		return &LimitError{Dimension: "objects", Got: len(doc.Objects), Max: l.MaxObjects}
+	}
+	if l.MaxLinks > 0 && len(doc.Links) > l.MaxLinks {
+		return &LimitError{Dimension: "links", Got: len(doc.Links), Max: l.MaxLinks}
+	}
+	if l.MaxAttributes > 0 && len(doc.Attributes) > l.MaxAttributes {
+		return &LimitError{Dimension: "attributes", Got: len(doc.Attributes), Max: l.MaxAttributes}
+	}
+	if l.MaxVocab > 0 {
+		for _, aj := range doc.Attributes {
+			if aj.VocabSize > l.MaxVocab {
+				return &LimitError{Dimension: "vocabulary", Got: aj.VocabSize, Max: l.MaxVocab}
+			}
+		}
+	}
+	if l.MaxObservations > 0 {
+		var obs int
+		for _, oj := range doc.Objects {
+			for _, tcs := range oj.Terms {
+				obs += len(tcs)
+			}
+			for _, xs := range oj.Numeric {
+				obs += len(xs)
+			}
+			if obs > l.MaxObservations {
+				return &LimitError{Dimension: "observations", Got: obs, Max: l.MaxObservations}
+			}
+		}
+	}
+	return nil
+}
+
 // FromJSON parses a network serialized by MarshalJSON, re-running full
-// Builder validation.
+// Builder validation. It applies no resource limits; decode untrusted
+// input with FromJSONLimited instead.
 func FromJSON(data []byte) (*Network, error) {
+	return FromJSONLimited(data, Limits{})
+}
+
+// FromJSONLimited is FromJSON with resource limits enforced before any
+// network structure is built, so a small hostile document cannot force a
+// large allocation downstream.
+func FromJSONLimited(data []byte, lim Limits) (*Network, error) {
 	var doc networkJSON
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("hin: parse network JSON: %w", err)
+	}
+	if err := lim.check(&doc); err != nil {
+		return nil, err
 	}
 	b := NewBuilder()
 	for _, aj := range doc.Attributes {

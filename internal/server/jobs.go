@@ -1,0 +1,291 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"genclus/internal/core"
+	"genclus/internal/eval"
+)
+
+// jobState is the lifecycle of a fit job.
+type jobState string
+
+const (
+	jobQueued    jobState = "queued"
+	jobRunning   jobState = "running"
+	jobDone      jobState = "done"
+	jobFailed    jobState = "failed"
+	jobCancelled jobState = "cancelled"
+)
+
+// resultMetrics are the eval quality scores computed against the optional
+// ground truth submitted with the job.
+type resultMetrics struct {
+	NMI     float64 `json:"nmi"`
+	ARI     float64 `json:"ari"`
+	Purity  float64 `json:"purity"`
+	Labeled int     `json:"labeled_objects"`
+}
+
+// objectInfo pins an object's identity at job completion so results stay
+// servable after the source network is evicted.
+type objectInfo struct {
+	ID   string
+	Type string
+}
+
+// job is one queued fit. Mutable fields are guarded by mu; the immutable
+// header fields (id, networkID, opts, truth, created) are set before the
+// job is published and never written again.
+type job struct {
+	id        string
+	networkID string
+	opts      core.Options
+	truth     []int // dense-index ground truth, -1 = unlabeled; nil when absent
+	created   time.Time
+
+	mu       sync.Mutex
+	state    jobState
+	progress core.Progress
+	errMsg   string
+	result   *core.Result
+	objects  []objectInfo
+	metrics  *resultMetrics
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+	// cancelRequested blocks the queued→running transition so a cancel
+	// that lands between queue-pop and fit start cannot leak a fit.
+	cancelRequested bool
+	// done closes when the job reaches a terminal state; tests and
+	// graceful shutdown wait on it.
+	done chan struct{}
+}
+
+// jobSnapshot is a consistent copy of a job's mutable state.
+type jobSnapshot struct {
+	state             jobState
+	progress          core.Progress
+	errMsg            string
+	result            *core.Result
+	objects           []objectInfo
+	metrics           *resultMetrics
+	started, finished time.Time
+}
+
+func (s jobSnapshot) terminal() bool {
+	return s.state == jobDone || s.state == jobFailed || s.state == jobCancelled
+}
+
+func (j *job) snapshot() jobSnapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobSnapshot{
+		state:    j.state,
+		progress: j.progress,
+		errMsg:   j.errMsg,
+		result:   j.result,
+		objects:  j.objects,
+		metrics:  j.metrics,
+		started:  j.started,
+		finished: j.finished,
+	}
+}
+
+// finish transitions the job to a terminal state (idempotent: the first
+// terminal transition wins) and releases waiters.
+func (j *job) finish(state jobState, errMsg string, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == jobDone || j.state == jobFailed || j.state == jobCancelled {
+		return
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = now
+	close(j.done)
+}
+
+// errQueueFull rejects submissions when the bounded queue has no room.
+var errQueueFull = errors.New("job queue is full")
+
+// manager runs the bounded worker pool that drains the job queue.
+type manager struct {
+	store   *store
+	queue   chan *job
+	workers int
+	now     func() time.Time
+
+	ctx  context.Context
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+}
+
+func newManager(st *store, workers, depth int, now func() time.Time) *manager {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &manager{
+		store:   st,
+		queue:   make(chan *job, depth),
+		workers: workers,
+		now:     now,
+		ctx:     ctx,
+		stop:    cancel,
+	}
+	for w := 0; w < workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// submit enqueues the job without blocking; a full queue is the caller's
+// backpressure signal.
+func (m *manager) submit(j *job) error {
+	select {
+	case m.queue <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// cancelJob requests cancellation. A queued job terminates immediately; a
+// running one is interrupted via its fit context and terminates when the
+// fit notices (between EM iterations).
+func (m *manager) cancelJob(j *job) {
+	j.mu.Lock()
+	j.cancelRequested = true
+	cancel := j.cancel
+	queued := j.state == jobQueued
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if queued {
+		j.finish(jobCancelled, "cancelled before start", m.now())
+	}
+}
+
+// close stops the workers and aborts any running fits, waiting for all
+// worker goroutines to exit, then fails over any jobs still queued so no
+// waiter on job.done blocks forever.
+func (m *manager) close() {
+	m.stop()
+	m.wg.Wait()
+	for {
+		select {
+		case j := <-m.queue:
+			j.finish(jobCancelled, "server shutting down", m.now())
+		default:
+			return
+		}
+	}
+}
+
+func (m *manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case j := <-m.queue:
+			m.run(j)
+		}
+	}
+}
+
+func (m *manager) run(j *job) {
+	// A panicking fit must take down the job, not the daemon: jobs carry
+	// untrusted networks and options, and the worker goroutine has no
+	// other recover between it and the process.
+	defer func() {
+		if r := recover(); r != nil {
+			j.finish(jobFailed, fmt.Sprintf("fit panicked: %v", r), m.now())
+		}
+	}()
+	jctx, cancel := context.WithCancel(m.ctx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state != jobQueued || j.cancelRequested { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = jobRunning
+	j.started = m.now()
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	net, ok := m.store.network(j.networkID)
+	if !ok {
+		j.finish(jobFailed, "network "+j.networkID+" evicted before the job ran", m.now())
+		return
+	}
+
+	opts := j.opts
+	opts.Progress = func(p core.Progress) {
+		j.mu.Lock()
+		j.progress = p
+		j.mu.Unlock()
+	}
+	res, err := core.FitContext(jctx, net, opts)
+	switch {
+	case err == nil:
+		objects := make([]objectInfo, net.NumObjects())
+		for v := range objects {
+			o := net.Object(v)
+			objects[v] = objectInfo{ID: o.ID, Type: o.Type}
+		}
+		metrics := computeMetrics(res, j.truth)
+		j.mu.Lock()
+		j.result = res
+		j.objects = objects
+		j.metrics = metrics
+		j.mu.Unlock()
+		j.finish(jobDone, "", m.now())
+	case errors.Is(err, context.Canceled):
+		msg := "cancelled"
+		if m.ctx.Err() != nil {
+			msg = "server shutting down"
+		}
+		j.finish(jobCancelled, msg, m.now())
+	default:
+		j.finish(jobFailed, err.Error(), m.now())
+	}
+}
+
+// computeMetrics scores the fit against the labeled subset of objects.
+// Returns nil when no truth was submitted or the metrics are undefined.
+func computeMetrics(res *core.Result, truth []int) *resultMetrics {
+	if truth == nil {
+		return nil
+	}
+	pred := res.HardLabels()
+	var p, tr []int
+	for v, label := range truth {
+		if label >= 0 {
+			p = append(p, pred[v])
+			tr = append(tr, label)
+		}
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	nmi, err := eval.NMI(p, tr)
+	if err != nil {
+		return nil
+	}
+	ari, err := eval.AdjustedRandIndex(p, tr)
+	if err != nil {
+		return nil
+	}
+	purity, err := eval.Purity(p, tr)
+	if err != nil {
+		return nil
+	}
+	return &resultMetrics{NMI: nmi, ARI: ari, Purity: purity, Labeled: len(p)}
+}

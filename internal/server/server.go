@@ -1,0 +1,551 @@
+// Package server implements genclusd: a long-running HTTP service that
+// accepts heterogeneous information network uploads, schedules GenClus fits
+// on a bounded async job queue, and serves the fitted models — hard
+// assignments, soft memberships, learned relation strengths, and optional
+// eval metrics against submitted ground truth.
+//
+// The API surface (all request/response bodies are JSON):
+//
+//	POST   /v1/networks        upload a network (hin JSON format) → {id}
+//	POST   /v1/jobs            submit a fit     → {id, state}
+//	GET    /v1/jobs/{id}       job status and progress
+//	GET    /v1/jobs/{id}/result fitted model (409 until the job is done)
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /healthz            liveness plus queue statistics
+//
+// Malformed or oversized input is always a 4xx, never a 5xx: the decoder
+// runs behind http.MaxBytesReader and hin.Limits, and job options are
+// validated before anything is queued.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"genclus/internal/core"
+	"genclus/internal/hin"
+)
+
+// Config sizes the service. Zero fields take the documented defaults.
+type Config struct {
+	// Workers is the number of concurrent fits (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run (default 64);
+	// submissions beyond it get 503.
+	QueueDepth int
+	// JobTTL evicts finished jobs and idle networks this long after their
+	// last use (default 1h).
+	JobTTL time.Duration
+	// SweepEvery is the eviction cadence (default JobTTL/4, min 1s).
+	SweepEvery time.Duration
+	// MaxBodyBytes caps request bodies (default 32 MiB).
+	MaxBodyBytes int64
+	// Limits bounds decoded networks; the zero value takes DefaultLimits.
+	Limits hin.Limits
+	// MaxK caps the requested cluster count (default 4096). K multiplies
+	// into every Θ row and every categorical β matrix, so an unbounded K
+	// is a one-request memory bomb.
+	MaxK int
+	// MaxOuterIters, MaxEMIters and MaxInitSeeds cap the corresponding
+	// job options (defaults 1e6, 10_000, 1024). They bound per-job
+	// compute only loosely — a runaway job is cancellable via DELETE —
+	// but keep a single request from scheduling effectively unbounded
+	// work by accident.
+	MaxOuterIters int
+	MaxEMIters    int
+	MaxInitSeeds  int
+
+	// now is the test clock hook; nil means time.Now.
+	now func() time.Time
+}
+
+// DefaultLimits is the upload bound genclusd ships with: generous for real
+// workloads, tight enough that a small hostile document cannot force a
+// giant allocation (MaxVocab in particular multiplies into K×Vocab floats
+// per categorical attribute on every fit).
+func DefaultLimits() hin.Limits {
+	return hin.Limits{
+		MaxObjects:      2_000_000,
+		MaxLinks:        20_000_000,
+		MaxAttributes:   64,
+		MaxVocab:        1_000_000,
+		MaxObservations: 50_000_000,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = time.Hour
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = c.JobTTL / 4
+		if c.SweepEvery < time.Second {
+			c.SweepEvery = time.Second
+		}
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Limits == (hin.Limits{}) {
+		c.Limits = DefaultLimits()
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 4096
+	}
+	if c.MaxOuterIters <= 0 {
+		c.MaxOuterIters = 1_000_000
+	}
+	if c.MaxEMIters <= 0 {
+		c.MaxEMIters = 10_000
+	}
+	if c.MaxInitSeeds <= 0 {
+		c.MaxInitSeeds = 1024
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Server is the genclusd HTTP service. Create with New, mount via Handler,
+// and Close on shutdown to stop workers and abort running fits.
+type Server struct {
+	cfg     Config
+	store   *store
+	manager *manager
+	mux     *http.ServeMux
+	started time.Time
+	sweeper chan struct{} // closed by Close to stop the janitor
+}
+
+// New builds a Server and starts its worker pool and eviction janitor.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	st := newStore(cfg.JobTTL, cfg.now)
+	s := &Server{
+		cfg:     cfg,
+		store:   st,
+		manager: newManager(st, cfg.Workers, cfg.QueueDepth, cfg.now),
+		mux:     http.NewServeMux(),
+		started: cfg.now(),
+		sweeper: make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/networks", s.handleUploadNetwork)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	go s.janitor()
+	return s
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the janitor and the worker pool, cancelling running fits and
+// waiting for their goroutines to exit.
+func (s *Server) Close() {
+	close(s.sweeper)
+	s.manager.close()
+}
+
+func (s *Server) janitor() {
+	t := time.NewTicker(s.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweeper:
+			return
+		case <-t.C:
+			s.store.sweep()
+		}
+	}
+}
+
+// ---- wire types ----
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type networkResponse struct {
+	ID         string   `json:"id"`
+	Objects    int      `json:"objects"`
+	Links      int      `json:"links"`
+	Relations  []string `json:"relations"`
+	Attributes []string `json:"attributes"`
+}
+
+// jobRequest is a fit submission. K is required; every Options field is
+// optional and overlays core.DefaultOptions(K). Truth optionally maps
+// object IDs to ground-truth cluster labels, enabling eval metrics on the
+// result.
+type jobRequest struct {
+	NetworkID string         `json:"network_id"`
+	K         int            `json:"k"`
+	Options   *jobOptions    `json:"options,omitempty"`
+	Truth     map[string]int `json:"truth,omitempty"`
+}
+
+type jobOptions struct {
+	Attributes           []string `json:"attributes,omitempty"`
+	OuterIters           *int     `json:"outer_iters,omitempty"`
+	EMIters              *int     `json:"em_iters,omitempty"`
+	EMTol                *float64 `json:"em_tol,omitempty"`
+	OuterTol             *float64 `json:"outer_tol,omitempty"`
+	NewtonIters          *int     `json:"newton_iters,omitempty"`
+	PriorSigma           *float64 `json:"prior_sigma,omitempty"`
+	Seed                 *int64   `json:"seed,omitempty"`
+	InitSeeds            *int     `json:"init_seeds,omitempty"`
+	InitSeedSteps        *int     `json:"init_seed_steps,omitempty"`
+	Parallelism          *int     `json:"parallelism,omitempty"`
+	LearnGamma           *bool    `json:"learn_gamma,omitempty"`
+	InitialGamma         *float64 `json:"initial_gamma,omitempty"`
+	SymmetricPropagation *bool    `json:"symmetric_propagation,omitempty"`
+}
+
+func (jo *jobOptions) apply(opts *core.Options) {
+	if jo == nil {
+		return
+	}
+	opts.Attributes = jo.Attributes
+	if jo.OuterIters != nil {
+		opts.OuterIters = *jo.OuterIters
+	}
+	if jo.EMIters != nil {
+		opts.EMIters = *jo.EMIters
+	}
+	if jo.EMTol != nil {
+		opts.EMTol = *jo.EMTol
+	}
+	if jo.OuterTol != nil {
+		opts.OuterTol = *jo.OuterTol
+	}
+	if jo.NewtonIters != nil {
+		opts.NewtonIters = *jo.NewtonIters
+	}
+	if jo.PriorSigma != nil {
+		opts.PriorSigma = *jo.PriorSigma
+	}
+	if jo.Seed != nil {
+		opts.Seed = *jo.Seed
+	}
+	if jo.InitSeeds != nil {
+		opts.InitSeeds = *jo.InitSeeds
+	}
+	if jo.InitSeedSteps != nil {
+		opts.InitSeedSteps = *jo.InitSeedSteps
+	}
+	if jo.Parallelism != nil {
+		opts.Parallelism = *jo.Parallelism
+	}
+	if jo.LearnGamma != nil {
+		opts.LearnGamma = *jo.LearnGamma
+	}
+	if jo.InitialGamma != nil {
+		opts.InitialGamma = *jo.InitialGamma
+	}
+	if jo.SymmetricPropagation != nil {
+		opts.SymmetricPropagation = *jo.SymmetricPropagation
+	}
+}
+
+type progressResponse struct {
+	Outer      int `json:"outer"`
+	OuterTotal int `json:"outer_total"`
+}
+
+type jobResponse struct {
+	ID        string            `json:"id"`
+	NetworkID string            `json:"network_id"`
+	State     jobState          `json:"state"`
+	Progress  *progressResponse `json:"progress,omitempty"`
+	Error     string            `json:"error,omitempty"`
+	Created   string            `json:"created"`
+	Started   string            `json:"started,omitempty"`
+	Finished  string            `json:"finished,omitempty"`
+}
+
+type objectResult struct {
+	ID      string    `json:"id"`
+	Type    string    `json:"type"`
+	Cluster int       `json:"cluster"`
+	Theta   []float64 `json:"theta"`
+}
+
+type resultResponse struct {
+	ID        string             `json:"id"`
+	K         int                `json:"k"`
+	Objects   []objectResult     `json:"objects"`
+	Gamma     map[string]float64 `json:"gamma"`
+	Objective float64            `json:"objective"`
+	PseudoLL  float64            `json:"pseudo_ll"`
+	Metrics   *resultMetrics     `json:"metrics,omitempty"`
+}
+
+type healthResponse struct {
+	Status        string           `json:"status"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Workers       int              `json:"workers"`
+	Networks      int              `json:"networks"`
+	Jobs          map[jobState]int `json:"jobs"`
+}
+
+// ---- handlers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// readBody drains a size-capped request body, mapping an overflow to 413.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "read request body: %v", err)
+		}
+		return nil, false
+	}
+	return data, true
+}
+
+func (s *Server) handleUploadNetwork(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	net, err := hin.FromJSONLimited(data, s.cfg.Limits)
+	if err != nil {
+		code := http.StatusBadRequest
+		var lim *hin.LimitError
+		if errors.As(err, &lim) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	id := s.store.addNetwork(net)
+	writeJSON(w, http.StatusCreated, networkResponse{
+		ID:         id,
+		Objects:    net.NumObjects(),
+		Links:      net.NumEdges(),
+		Relations:  net.Relations(),
+		Attributes: attrNames(net),
+	})
+}
+
+func attrNames(net *hin.Network) []string {
+	specs := net.Attrs()
+	out := make([]string, len(specs))
+	for i, sp := range specs {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req jobRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "parse job request: %v", err)
+		return
+	}
+	net, ok := s.store.network(req.NetworkID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown network %q", req.NetworkID)
+		return
+	}
+	opts := core.DefaultOptions(req.K)
+	req.Options.apply(&opts)
+	// A fit can only use as many EM workers as there are cores; clamp
+	// rather than letting one job oversubscribe the box.
+	if procs := runtime.GOMAXPROCS(0); opts.Parallelism > procs {
+		opts.Parallelism = procs
+	}
+	if err := s.checkJobBounds(opts); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
+		return
+	}
+	if err := opts.Validate(net); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
+		return
+	}
+	truth, err := denseTruth(net, req.Truth)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	j := &job{
+		id:        newID("job"),
+		networkID: req.NetworkID,
+		opts:      opts,
+		truth:     truth,
+		created:   s.cfg.now(),
+		state:     jobQueued,
+		done:      make(chan struct{}),
+	}
+	if err := s.manager.submit(j); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.store.addJob(j)
+	writeJSON(w, http.StatusAccepted, s.jobResponse(j))
+}
+
+// checkJobBounds enforces the server-side ceilings on job options —
+// core.Options.Validate only checks lower bounds, and this is a trust
+// boundary.
+func (s *Server) checkJobBounds(opts core.Options) error {
+	if opts.K > s.cfg.MaxK {
+		return fmt.Errorf("k %d exceeds limit %d", opts.K, s.cfg.MaxK)
+	}
+	if opts.OuterIters > s.cfg.MaxOuterIters {
+		return fmt.Errorf("outer_iters %d exceeds limit %d", opts.OuterIters, s.cfg.MaxOuterIters)
+	}
+	if opts.EMIters > s.cfg.MaxEMIters {
+		return fmt.Errorf("em_iters %d exceeds limit %d", opts.EMIters, s.cfg.MaxEMIters)
+	}
+	if opts.InitSeeds > s.cfg.MaxInitSeeds {
+		return fmt.Errorf("init_seeds %d exceeds limit %d", opts.InitSeeds, s.cfg.MaxInitSeeds)
+	}
+	return nil
+}
+
+// denseTruth validates the submitted ground truth against the network and
+// aligns it to dense object indices (-1 = unlabeled).
+func denseTruth(net *hin.Network, truth map[string]int) ([]int, error) {
+	if len(truth) == 0 {
+		return nil, nil
+	}
+	out := make([]int, net.NumObjects())
+	for v := range out {
+		out[v] = -1
+	}
+	for id, label := range truth {
+		v, ok := net.IndexOf(id)
+		if !ok {
+			return nil, fmt.Errorf("truth references unknown object %q", id)
+		}
+		if label < 0 {
+			return nil, fmt.Errorf("truth label for %q is negative", id)
+		}
+		out[v] = label
+	}
+	return out, nil
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.store.job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) jobResponse(j *job) jobResponse {
+	snap := j.snapshot()
+	resp := jobResponse{
+		ID:        j.id,
+		NetworkID: j.networkID,
+		State:     snap.state,
+		Error:     snap.errMsg,
+		Created:   j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if snap.state != jobQueued {
+		resp.Progress = &progressResponse{Outer: snap.progress.Outer, OuterTotal: snap.progress.OuterTotal}
+	}
+	if !snap.started.IsZero() {
+		resp.Started = snap.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !snap.finished.IsZero() {
+		resp.Finished = snap.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return resp
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobResponse(j))
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	snap := j.snapshot()
+	if snap.state != jobDone {
+		writeError(w, http.StatusConflict, "job %s is %s, not done", j.id, snap.state)
+		return
+	}
+	res := snap.result
+	objects := make([]objectResult, len(snap.objects))
+	labels := res.HardLabels()
+	for v, info := range snap.objects {
+		objects[v] = objectResult{
+			ID:      info.ID,
+			Type:    info.Type,
+			Cluster: labels[v],
+			Theta:   res.Theta[v],
+		}
+	}
+	writeJSON(w, http.StatusOK, resultResponse{
+		ID:        j.id,
+		K:         res.K,
+		Objects:   objects,
+		Gamma:     res.Gamma,
+		Objective: res.Objective,
+		PseudoLL:  res.PseudoLL,
+		Metrics:   snap.metrics,
+	})
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	s.manager.cancelJob(j)
+	writeJSON(w, http.StatusOK, s.jobResponse(j))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		UptimeSeconds: s.cfg.now().Sub(s.started).Seconds(),
+		Workers:       s.cfg.Workers,
+		Networks:      s.store.numNetworks(),
+		Jobs:          s.store.jobCounts(),
+	})
+}

@@ -1,0 +1,539 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"genclus/internal/hin"
+)
+
+// testNetworkJSON builds a clearly two-clustered network (disjoint
+// vocabulary blocks plus within-cluster cites links) and returns its JSON
+// encoding together with the ground-truth labels by object ID.
+func testNetworkJSON(t *testing.T, perTopic int, seed int64) ([]byte, map[string]int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := hin.NewBuilder()
+	b.DeclareAttribute(hin.AttrSpec{Name: "text", Kind: hin.Categorical, VocabSize: 20})
+	n := 2 * perTopic
+	ids := make([]string, n)
+	truth := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		ids[i] = fmt.Sprintf("doc%04d", i)
+		b.AddObject(ids[i], "doc")
+		topic := i / perTopic
+		truth[ids[i]] = topic
+		for w := 0; w < 10; w++ {
+			b.AddTermCount(ids[i], "text", topic*10+rng.Intn(10), 1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		topic := i / perTopic
+		for c := 0; c < 2; c++ {
+			j := topic*perTopic + rng.Intn(perTopic)
+			if j != i {
+				b.AddLink(ids[i], ids[j], "cites", 1)
+			}
+		}
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := net.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, truth
+}
+
+// testServer spins up the service behind httptest and tears it down with
+// the test.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func doReq(t *testing.T, client *http.Client, method, url string, body []byte) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func uploadNetwork(t *testing.T, ts *httptest.Server, network []byte) string {
+	t.Helper()
+	code, body := doReq(t, ts.Client(), http.MethodPost, ts.URL+"/v1/networks", network)
+	if code != http.StatusCreated {
+		t.Fatalf("upload: status %d: %s", code, body)
+	}
+	var resp networkResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp.ID
+}
+
+func submitJob(t *testing.T, ts *httptest.Server, req jobRequest) string {
+	t.Helper()
+	payload, _ := json.Marshal(req)
+	code, body := doReq(t, ts.Client(), http.MethodPost, ts.URL+"/v1/jobs", payload)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", code, body)
+	}
+	var resp jobResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp.ID
+}
+
+func jobStatus(t *testing.T, ts *httptest.Server, id string) jobResponse {
+	t.Helper()
+	code, body := doReq(t, ts.Client(), http.MethodGet, ts.URL+"/v1/jobs/"+id, nil)
+	if code != http.StatusOK {
+		t.Fatalf("status: %d: %s", code, body)
+	}
+	var resp jobResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// waitForState polls the status endpoint until the job reaches want.
+func waitForState(t *testing.T, ts *httptest.Server, id string, want jobState) jobResponse {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp := jobStatus(t, ts, id)
+		if resp.State == want {
+			return resp
+		}
+		if resp.State == jobFailed && want != jobFailed {
+			t.Fatalf("job %s failed: %s", id, resp.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %q", id, want)
+	return jobResponse{}
+}
+
+func fetchResult(t *testing.T, ts *httptest.Server, id string) resultResponse {
+	t.Helper()
+	code, body := doReq(t, ts.Client(), http.MethodGet, ts.URL+"/v1/jobs/"+id+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("result: %d: %s", code, body)
+	}
+	var resp resultResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// quickOpts keeps test fits fast.
+func quickOpts(seed int64, parallelism int) *jobOptions {
+	outer, em, initSeeds := 3, 5, 2
+	return &jobOptions{
+		OuterIters:  &outer,
+		EMIters:     &em,
+		InitSeeds:   &initSeeds,
+		Seed:        &seed,
+		Parallelism: &parallelism,
+	}
+}
+
+func TestUploadFitPollResult(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	network, truth := testNetworkJSON(t, 30, 1)
+	netID := uploadNetwork(t, ts, network)
+
+	jobID := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: quickOpts(7, 1), Truth: truth})
+	status := waitForState(t, ts, jobID, jobDone)
+	if status.Progress == nil || status.Progress.Outer == 0 {
+		t.Errorf("finished job reports no progress: %+v", status.Progress)
+	}
+
+	res := fetchResult(t, ts, jobID)
+	if res.K != 2 || len(res.Objects) != 60 {
+		t.Fatalf("result shape: K=%d objects=%d", res.K, len(res.Objects))
+	}
+	for _, o := range res.Objects {
+		if len(o.Theta) != 2 || o.Cluster < 0 || o.Cluster > 1 {
+			t.Fatalf("object %s: cluster=%d theta=%v", o.ID, o.Cluster, o.Theta)
+		}
+	}
+	if _, ok := res.Gamma["cites"]; !ok {
+		t.Errorf("gamma missing cites relation: %v", res.Gamma)
+	}
+	if res.Metrics == nil {
+		t.Fatal("truth submitted but no metrics on the result")
+	}
+	if res.Metrics.NMI < 0.8 || res.Metrics.Labeled != 60 {
+		t.Errorf("recovery too weak on a trivially separable network: %+v", res.Metrics)
+	}
+
+	// Same seed, second run → identical assignments (the determinism
+	// guarantee the API documents).
+	jobID2 := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: quickOpts(7, 1)})
+	waitForState(t, ts, jobID2, jobDone)
+	res2 := fetchResult(t, ts, jobID2)
+	for i := range res.Objects {
+		if res.Objects[i].Cluster != res2.Objects[i].Cluster {
+			t.Fatalf("object %s cluster differs across identical jobs", res.Objects[i].ID)
+		}
+	}
+}
+
+// TestConcurrentJobsDeterministic submits jobs concurrently — same seed but
+// different EM parallelism — and requires every one to complete with
+// bitwise-identical assignments and relation strengths.
+func TestConcurrentJobsDeterministic(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 4})
+	network, _ := testNetworkJSON(t, 30, 2)
+	netID := uploadNetwork(t, ts, network)
+
+	parallelisms := []int{1, 8, 1, 8}
+	ids := make([]string, len(parallelisms))
+	var wg sync.WaitGroup
+	for i, p := range parallelisms {
+		wg.Add(1)
+		go func(i, p int) {
+			defer wg.Done()
+			ids[i] = submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: quickOpts(11, p)})
+		}(i, p)
+	}
+	wg.Wait()
+
+	results := make([]resultResponse, len(ids))
+	for i, id := range ids {
+		waitForState(t, ts, id, jobDone)
+		results[i] = fetchResult(t, ts, id)
+	}
+	base := results[0]
+	for i, res := range results[1:] {
+		for v := range base.Objects {
+			if res.Objects[v].Cluster != base.Objects[v].Cluster {
+				t.Fatalf("job %d: cluster of %s differs from job 0", i+1, base.Objects[v].ID)
+			}
+			for k := range base.Objects[v].Theta {
+				if res.Objects[v].Theta[k] != base.Objects[v].Theta[k] {
+					t.Fatalf("job %d: θ[%s][%d] differs from job 0", i+1, base.Objects[v].ID, k)
+				}
+			}
+		}
+		for rel, g := range base.Gamma {
+			if res.Gamma[rel] != g {
+				t.Fatalf("job %d: γ(%s) = %v, job 0 has %v", i+1, rel, res.Gamma[rel], g)
+			}
+		}
+	}
+}
+
+// TestCancelMidFit cancels a running job and verifies both the API
+// transition and that the fit's goroutines actually exit (no leak).
+func TestCancelMidFit(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	network, _ := testNetworkJSON(t, 400, 3)
+	netID := uploadNetwork(t, ts, network)
+
+	ts.Client().CloseIdleConnections()
+	baseline := runtime.NumGoroutine()
+
+	outer, em, par, initSeeds := 1_000_000, 50, 2, 1
+	var seed int64 = 5
+	jobID := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: &jobOptions{
+		OuterIters: &outer, EMIters: &em, Parallelism: &par, InitSeeds: &initSeeds, Seed: &seed,
+	}})
+	waitForState(t, ts, jobID, jobRunning)
+
+	code, _ := doReq(t, ts.Client(), http.MethodDelete, ts.URL+"/v1/jobs/"+jobID, nil)
+	if code != http.StatusOK {
+		t.Fatalf("cancel: status %d", code)
+	}
+	status := waitForState(t, ts, jobID, jobCancelled)
+	if status.Error == "" {
+		t.Error("cancelled job carries no reason")
+	}
+
+	// A cancelled job must not hold a result.
+	code, _ = doReq(t, ts.Client(), http.MethodGet, ts.URL+"/v1/jobs/"+jobID+"/result", nil)
+	if code != http.StatusConflict {
+		t.Fatalf("result of cancelled job: status %d, want 409", code)
+	}
+
+	// The fit goroutine and its EM workers must exit once the cancel
+	// propagates; poll because the fit only notices between iterations.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ts.Client().CloseIdleConnections()
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after cancel: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1, QueueDepth: 8})
+	network, _ := testNetworkJSON(t, 400, 4)
+	netID := uploadNetwork(t, ts, network)
+
+	outer, em, initSeeds := 1_000_000, 50, 1
+	slow := &jobOptions{OuterIters: &outer, EMIters: &em, InitSeeds: &initSeeds}
+	blocker := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: slow})
+	waitForState(t, ts, blocker, jobRunning)
+
+	queued := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: slow})
+	if code, _ := doReq(t, ts.Client(), http.MethodDelete, ts.URL+"/v1/jobs/"+queued, nil); code != http.StatusOK {
+		t.Fatalf("cancel queued: status %d", code)
+	}
+	waitForState(t, ts, queued, jobCancelled)
+
+	if code, _ := doReq(t, ts.Client(), http.MethodDelete, ts.URL+"/v1/jobs/"+blocker, nil); code != http.StatusOK {
+		t.Fatal("cancel blocker failed")
+	}
+	waitForState(t, ts, blocker, jobCancelled)
+}
+
+func TestMalformedPayloadsAre4xx(t *testing.T) {
+	_, ts := testServer(t, Config{
+		Workers:      1,
+		MaxBodyBytes: 64 << 10,
+		Limits:       hin.Limits{MaxObjects: 1000, MaxLinks: 5000, MaxAttributes: 8, MaxVocab: 64, MaxObservations: 10000},
+	})
+	network, _ := testNetworkJSON(t, 5, 6)
+	netID := uploadNetwork(t, ts, network)
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"network: invalid JSON", "POST", "/v1/networks", `{not json`, 400},
+		{"network: unknown attribute kind", "POST", "/v1/networks",
+			`{"attributes":[{"name":"a","kind":"ordinal","vocab":4}],"objects":[{"id":"x","type":"t"}]}`, 400},
+		{"network: term outside vocabulary", "POST", "/v1/networks",
+			`{"attributes":[{"name":"a","kind":"categorical","vocab":4}],"objects":[{"id":"x","type":"t","terms":{"a":[{"t":99,"c":1}]}}]}`, 400},
+		{"network: link to unknown object", "POST", "/v1/networks",
+			`{"objects":[{"id":"x","type":"t"}],"links":[{"from":"x","to":"ghost","rel":"r","w":1}]}`, 400},
+		{"network: vocabulary over limit", "POST", "/v1/networks",
+			`{"attributes":[{"name":"a","kind":"categorical","vocab":100000}],"objects":[{"id":"x","type":"t"}]}`, 413},
+		{"network: body too large", "POST", "/v1/networks", strings.Repeat("x", 65<<10), 413},
+		{"job: invalid JSON", "POST", "/v1/jobs", `]`, 400},
+		{"job: unknown network", "POST", "/v1/jobs", `{"network_id":"net_missing","k":2}`, 404},
+		{"job: k too small", "POST", "/v1/jobs", fmt.Sprintf(`{"network_id":%q,"k":1}`, netID), 400},
+		{"job: k memory bomb", "POST", "/v1/jobs", fmt.Sprintf(`{"network_id":%q,"k":1000000000}`, netID), 400},
+		{"job: unbounded iterations", "POST", "/v1/jobs",
+			fmt.Sprintf(`{"network_id":%q,"k":2,"options":{"outer_iters":2000000000}}`, netID), 400},
+		{"job: unknown attribute", "POST", "/v1/jobs",
+			fmt.Sprintf(`{"network_id":%q,"k":2,"options":{"attributes":["nope"]}}`, netID), 400},
+		{"job: truth on unknown object", "POST", "/v1/jobs",
+			fmt.Sprintf(`{"network_id":%q,"k":2,"truth":{"ghost":0}}`, netID), 400},
+		{"status: unknown job", "GET", "/v1/jobs/job_missing", "", 404},
+		{"result: unknown job", "GET", "/v1/jobs/job_missing/result", "", 404},
+		{"cancel: unknown job", "DELETE", "/v1/jobs/job_missing", "", 404},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := doReq(t, ts.Client(), tc.method, ts.URL+tc.path, []byte(tc.body))
+			if code != tc.want {
+				t.Fatalf("status %d, want %d: %s", code, tc.want, body)
+			}
+			if code >= 500 {
+				t.Fatalf("5xx on malformed input: %d", code)
+			}
+		})
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1, QueueDepth: 1})
+	network, _ := testNetworkJSON(t, 400, 8)
+	netID := uploadNetwork(t, ts, network)
+
+	outer, em, initSeeds := 1_000_000, 50, 1
+	slow := &jobOptions{OuterIters: &outer, EMIters: &em, InitSeeds: &initSeeds}
+	running := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: slow})
+	waitForState(t, ts, running, jobRunning)
+	queued := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: slow})
+
+	payload, _ := json.Marshal(jobRequest{NetworkID: netID, K: 2, Options: slow})
+	code, body := doReq(t, ts.Client(), http.MethodPost, ts.URL+"/v1/jobs", payload)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("third submission: status %d, want 503: %s", code, body)
+	}
+
+	for _, id := range []string{running, queued} {
+		doReq(t, ts.Client(), http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		waitForState(t, ts, id, jobCancelled)
+	}
+}
+
+func TestResultBeforeDoneIs409(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	network, _ := testNetworkJSON(t, 400, 9)
+	netID := uploadNetwork(t, ts, network)
+	outer, em, initSeeds := 1_000_000, 50, 1
+	jobID := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2,
+		Options: &jobOptions{OuterIters: &outer, EMIters: &em, InitSeeds: &initSeeds}})
+	code, _ := doReq(t, ts.Client(), http.MethodGet, ts.URL+"/v1/jobs/"+jobID+"/result", nil)
+	if code != http.StatusConflict {
+		t.Fatalf("result of unfinished job: status %d, want 409", code)
+	}
+	doReq(t, ts.Client(), http.MethodDelete, ts.URL+"/v1/jobs/"+jobID, nil)
+	waitForState(t, ts, jobID, jobCancelled)
+}
+
+// fakeClock drives TTL eviction without real sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestTTLEviction(t *testing.T) {
+	clock := &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+	s, ts := testServer(t, Config{Workers: 1, JobTTL: time.Minute, now: clock.Now})
+	network, _ := testNetworkJSON(t, 10, 10)
+	netID := uploadNetwork(t, ts, network)
+	jobID := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: quickOpts(1, 1)})
+	waitForState(t, ts, jobID, jobDone)
+
+	// Within the TTL nothing is evicted.
+	s.store.sweep()
+	if code, _ := doReq(t, ts.Client(), http.MethodGet, ts.URL+"/v1/jobs/"+jobID, nil); code != http.StatusOK {
+		t.Fatalf("job evicted before TTL: %d", code)
+	}
+
+	clock.Advance(2 * time.Minute)
+	s.store.sweep()
+	if code, _ := doReq(t, ts.Client(), http.MethodGet, ts.URL+"/v1/jobs/"+jobID, nil); code != http.StatusNotFound {
+		t.Fatalf("finished job survived the TTL sweep: %d", code)
+	}
+	payload, _ := json.Marshal(jobRequest{NetworkID: netID, K: 2})
+	if code, _ := doReq(t, ts.Client(), http.MethodPost, ts.URL+"/v1/jobs", payload); code != http.StatusNotFound {
+		t.Fatalf("idle network survived the TTL sweep: %d", code)
+	}
+}
+
+// TestTTLPinsNetworkWithQueuedJob: a network must not be evicted while a
+// queued or running job still needs it.
+func TestTTLPinsNetworkWithQueuedJob(t *testing.T) {
+	clock := &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+	s, ts := testServer(t, Config{Workers: 1, JobTTL: time.Minute, now: clock.Now})
+	network, _ := testNetworkJSON(t, 400, 12)
+	netID := uploadNetwork(t, ts, network)
+
+	outer, em, initSeeds := 1_000_000, 50, 1
+	slow := &jobOptions{OuterIters: &outer, EMIters: &em, InitSeeds: &initSeeds}
+	running := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: slow})
+	waitForState(t, ts, running, jobRunning)
+	queued := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: slow})
+
+	clock.Advance(10 * time.Minute)
+	s.store.sweep()
+	if _, ok := s.store.network(netID); !ok {
+		t.Fatal("network evicted while jobs depend on it")
+	}
+
+	for _, id := range []string{running, queued} {
+		doReq(t, ts.Client(), http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		waitForState(t, ts, id, jobCancelled)
+	}
+}
+
+// TestCloseFailsOverQueuedJobs: shutting the server down with jobs still
+// queued must move them to a terminal state (and close their done
+// channels) rather than stranding them as "queued" forever.
+func TestCloseFailsOverQueuedJobs(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	network, _ := testNetworkJSON(t, 400, 13)
+	netID := uploadNetwork(t, ts, network)
+	outer, em, initSeeds := 1_000_000, 50, 1
+	slow := &jobOptions{OuterIters: &outer, EMIters: &em, InitSeeds: &initSeeds}
+	running := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: slow})
+	waitForState(t, ts, running, jobRunning)
+	queued := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: slow})
+
+	s.Close()
+
+	for _, id := range []string{running, queued} {
+		j, ok := s.store.job(id)
+		if !ok {
+			t.Fatalf("job %s missing after close", id)
+		}
+		select {
+		case <-j.done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("job %s (state %s) never terminal after Close", id, j.snapshot().state)
+		}
+		if state := j.snapshot().state; state != jobCancelled {
+			t.Fatalf("job %s state after Close = %s, want cancelled", id, state)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 3})
+	code, body := doReq(t, ts.Client(), http.MethodGet, ts.URL+"/healthz", nil)
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	var resp healthResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ok" || resp.Workers != 3 {
+		t.Fatalf("healthz payload: %+v", resp)
+	}
+}

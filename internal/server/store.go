@@ -1,0 +1,121 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"genclus/internal/hin"
+)
+
+// newID returns a prefixed 16-hex-char random identifier.
+func newID(prefix string) string {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return prefix + "_" + hex.EncodeToString(buf[:])
+}
+
+// networkEntry is one uploaded network plus the bookkeeping eviction needs.
+type networkEntry struct {
+	net      *hin.Network
+	lastUsed time.Time
+}
+
+// store holds uploaded networks and jobs in memory. Finished jobs and idle
+// networks are evicted once they outlive the TTL (sweep); networks stay
+// pinned while a queued or running job references them.
+type store struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu       sync.Mutex
+	networks map[string]*networkEntry
+	jobs     map[string]*job
+}
+
+func newStore(ttl time.Duration, now func() time.Time) *store {
+	return &store{
+		ttl:      ttl,
+		now:      now,
+		networks: make(map[string]*networkEntry),
+		jobs:     make(map[string]*job),
+	}
+}
+
+// addNetwork registers an uploaded network and returns its ID.
+func (st *store) addNetwork(net *hin.Network) string {
+	id := newID("net")
+	st.mu.Lock()
+	st.networks[id] = &networkEntry{net: net, lastUsed: st.now()}
+	st.mu.Unlock()
+	return id
+}
+
+// network fetches a network and refreshes its eviction clock.
+func (st *store) network(id string) (*hin.Network, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.networks[id]
+	if !ok {
+		return nil, false
+	}
+	e.lastUsed = st.now()
+	return e.net, true
+}
+
+func (st *store) addJob(j *job) {
+	st.mu.Lock()
+	st.jobs[j.id] = j
+	st.mu.Unlock()
+}
+
+func (st *store) job(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// sweep evicts finished jobs whose results outlived the TTL and networks
+// idle past the TTL that no pending job still needs.
+func (st *store) sweep() {
+	now := st.now()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	pinned := make(map[string]bool)
+	for id, j := range st.jobs {
+		snap := j.snapshot()
+		if snap.terminal() {
+			if now.Sub(snap.finished) > st.ttl {
+				delete(st.jobs, id)
+			}
+			continue
+		}
+		pinned[j.networkID] = true
+	}
+	for id, e := range st.networks {
+		if !pinned[id] && now.Sub(e.lastUsed) > st.ttl {
+			delete(st.networks, id)
+		}
+	}
+}
+
+// jobCounts tallies jobs by state for /healthz.
+func (st *store) jobCounts() map[jobState]int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[jobState]int)
+	for _, j := range st.jobs {
+		out[j.snapshot().state]++
+	}
+	return out
+}
+
+func (st *store) numNetworks() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.networks)
+}
