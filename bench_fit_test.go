@@ -1,0 +1,172 @@
+// The cold-fit vs warm-refit benchmark harness. BenchmarkFitRefit is the
+// committed perf baseline: an unfiltered run (any -benchtime) rewrites
+// BENCH_fit.json at the repo root, so the file tracks the code and future
+// PRs have a trajectory to compare against. CI runs it with -benchtime=1x
+// as a smoke pass and uploads the JSON as an artifact.
+package genclus_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"genclus"
+)
+
+// benchFitEntry is one scenario×mode measurement in BENCH_fit.json.
+type benchFitEntry struct {
+	NsPerOp      int64 `json:"ns_per_op"`
+	Iterations   int   `json:"benchmark_iterations"`
+	EMIterations int   `json:"em_iterations"` // EM work of one fit — the hardware-independent number
+}
+
+// benchFitScenario pairs the network a model is first fitted on (base) with
+// the network the measured fits run on (target). For the unchanged-network
+// scenarios the two are the same; the grown scenario refits onto a network
+// that gained 5% new objects.
+type benchFitScenario struct {
+	name   string
+	base   *genclus.Network
+	target *genclus.Network
+	opts   genclus.Options
+}
+
+// benchDocNet builds the deterministic two-topic citation network used by
+// the grown-network scenario: perTopic docs per topic with disjoint
+// vocabulary blocks and within-topic links, plus extra docs per topic
+// appended after the (bit-identical) base structure.
+func benchDocNet(b *testing.B, perTopic, extra int) *genclus.Network {
+	bl := genclus.NewBuilder()
+	bl.DeclareAttribute(genclus.AttrSpec{Name: "text", Kind: genclus.Categorical, VocabSize: 40})
+	add := func(topic, i int, tag string) string {
+		id := fmt.Sprintf("%s%d_%04d", tag, topic, i)
+		bl.AddObject(id, "doc")
+		for w := 0; w < 10; w++ {
+			bl.AddTermCount(id, "text", topic*20+(i+w)%20, 1)
+		}
+		return id
+	}
+	for topic := 0; topic < 2; topic++ {
+		ids := make([]string, perTopic)
+		for i := range ids {
+			ids[i] = add(topic, i, "doc")
+		}
+		for i, id := range ids {
+			bl.AddLink(id, ids[(i+1)%perTopic], "cites", 1)
+			bl.AddLink(id, ids[(i+7)%perTopic], "cites", 1)
+		}
+		for i := 0; i < extra; i++ {
+			id := add(topic, i, "new")
+			bl.AddLink(id, ids[i%perTopic], "cites", 1)
+			bl.AddLink(id, ids[(i+3)%perTopic], "cites", 1)
+		}
+	}
+	net, err := bl.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+func benchFitScenarios(b *testing.B) []benchFitScenario {
+	weather, err := genclus.GenerateWeather(genclus.WeatherSetting1(200, 100, 5, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	biblioCfg := genclus.DefaultBiblioConfig(genclus.SchemaACP, 1)
+	biblioCfg.NumAuthors = 120
+	biblioCfg.NumPapers = 200
+	biblioCfg.LabeledPapers = 20
+	biblio, err := genclus.GenerateBibliographic(biblioCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := func(k int) genclus.Options {
+		o := genclus.DefaultOptions(k)
+		o.OuterIters = 10
+		o.EMIters = 15
+		o.EMTol = 1e-6
+		o.OuterTol = 1e-6
+		o.Seed = 1
+		return o
+	}
+	docsBase := benchDocNet(b, 250, 0)
+	docsGrown := benchDocNet(b, 250, 13) // +26 docs on 500 = ~5%
+	return []benchFitScenario{
+		{name: "weather", base: weather.Net, target: weather.Net, opts: opts(weather.NumClusters)},
+		{name: "biblio", base: biblio.Net, target: biblio.Net, opts: opts(biblio.NumClusters)},
+		{name: "docs-grown5pct", base: docsBase, target: docsGrown, opts: opts(2)},
+	}
+}
+
+// BenchmarkFitRefit measures, per scenario, a cold Fit of the target
+// network and a Model.Refit onto it from a model fitted on the base
+// network (same network for the unchanged scenarios, a 5%-grown one for
+// docs-grown5pct). Sub-benchmark timings are collected and written to
+// BENCH_fit.json (override the path with GENCLUS_BENCH_OUT); the write is
+// skipped when -bench filtering dropped any sub-benchmark, so a partial
+// run cannot clobber the committed baseline.
+func BenchmarkFitRefit(b *testing.B) {
+	out := make(map[string]benchFitEntry)
+	record := func(name string, b *testing.B, emIters int) {
+		nsPerOp := int64(0)
+		if b.N > 0 {
+			nsPerOp = b.Elapsed().Nanoseconds() / int64(b.N)
+		}
+		out[name] = benchFitEntry{NsPerOp: nsPerOp, Iterations: b.N, EMIterations: emIters}
+	}
+
+	scenarios := benchFitScenarios(b)
+	for _, sc := range scenarios {
+		model, err := genclus.Fit(sc.base, sc.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run(sc.name+"/cold", func(b *testing.B) {
+			em := 0
+			for i := 0; i < b.N; i++ {
+				res, err := genclus.Fit(sc.target, sc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				em = res.EMIterations
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(em), "em-iters")
+			record(sc.name+"/cold", b, em)
+		})
+
+		b.Run(sc.name+"/refit", func(b *testing.B) {
+			em := 0
+			for i := 0; i < b.N; i++ {
+				res, err := model.Refit(sc.target, genclus.DefaultOptions(sc.opts.K))
+				if err != nil {
+					b.Fatal(err)
+				}
+				em = res.EMIterations
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(em), "em-iters")
+			record(sc.name+"/refit", b, em)
+		})
+	}
+
+	if len(out) != 2*len(scenarios) {
+		b.Logf("skipping BENCH_fit.json write: %d of %d sub-benchmarks ran (filtered run)", len(out), 2*len(scenarios))
+		return
+	}
+	path := os.Getenv("GENCLUS_BENCH_OUT")
+	if path == "" {
+		path = "BENCH_fit.json"
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("write %s: %v", path, err)
+	}
+	b.Logf("wrote %s", path)
+}

@@ -1,0 +1,479 @@
+// Package client is the typed Go SDK for genclusd, the GenClus clustering
+// service. It covers every /v1 endpoint — network upload, job submission
+// (including warm starts from a prior job), status, result, cancellation,
+// the live progress event stream — plus /healthz, with context support and
+// bounded retry/backoff on transient failures.
+//
+//	c := client.New("http://localhost:8080")
+//	net, _ := c.UploadNetwork(ctx, myNetwork)
+//	job, _ := c.SubmitJob(ctx, client.JobSpec{NetworkID: net.ID, K: 4})
+//	res, err := c.WaitForResult(ctx, job.ID)
+//
+// The /v1 surface is additive-only until a /v2, so a client built against
+// this package keeps working as the server grows new fields (see README,
+// "API compatibility").
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"genclus"
+)
+
+// Client talks to one genclusd base URL. The zero value is not usable;
+// construct with New. Client is safe for concurrent use.
+type Client struct {
+	baseURL      string
+	hc           *http.Client
+	maxRetries   int
+	retryBase    time.Duration
+	pollInterval time.Duration
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default:
+// http.DefaultClient). Streaming endpoints need a client without a global
+// Timeout; use per-call contexts for deadlines instead.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets the retry budget for transient failures (network errors
+// and 502/503/504 responses): up to n retries with exponential backoff
+// starting at base. Defaults: 3 retries from 100ms. WithRetries(0, 0)
+// disables retrying.
+func WithRetries(n int, base time.Duration) Option {
+	return func(c *Client) {
+		c.maxRetries = n
+		c.retryBase = base
+	}
+}
+
+// WithPollInterval sets the status poll cadence WaitForResult falls back to
+// when the event stream is unavailable (default 250ms).
+func WithPollInterval(d time.Duration) Option { return func(c *Client) { c.pollInterval = d } }
+
+// New returns a Client for the given base URL (e.g. "http://localhost:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		baseURL:      strings.TrimRight(baseURL, "/"),
+		hc:           http.DefaultClient,
+		maxRetries:   3,
+		retryBase:    100 * time.Millisecond,
+		pollInterval: 250 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response from the service, carrying the HTTP status
+// and the server's error message.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("genclusd: %d: %s", e.StatusCode, e.Message)
+}
+
+// IsNotFound reports whether err is an APIError with status 404 — an
+// unknown (or TTL-evicted) network or job.
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound
+}
+
+// JobState is a job's lifecycle state as reported by the service.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// NetworkInfo describes an uploaded network.
+type NetworkInfo struct {
+	ID         string   `json:"id"`
+	Objects    int      `json:"objects"`
+	Links      int      `json:"links"`
+	Relations  []string `json:"relations"`
+	Attributes []string `json:"attributes"`
+}
+
+// JobOptions overlays the paper-default fit options; nil fields keep the
+// defaults. It mirrors the service's options object field for field.
+type JobOptions struct {
+	Attributes           []string `json:"attributes,omitempty"`
+	OuterIters           *int     `json:"outer_iters,omitempty"`
+	EMIters              *int     `json:"em_iters,omitempty"`
+	EMTol                *float64 `json:"em_tol,omitempty"`
+	OuterTol             *float64 `json:"outer_tol,omitempty"`
+	NewtonIters          *int     `json:"newton_iters,omitempty"`
+	PriorSigma           *float64 `json:"prior_sigma,omitempty"`
+	Seed                 *int64   `json:"seed,omitempty"`
+	InitSeeds            *int     `json:"init_seeds,omitempty"`
+	InitSeedSteps        *int     `json:"init_seed_steps,omitempty"`
+	Parallelism          *int     `json:"parallelism,omitempty"`
+	LearnGamma           *bool    `json:"learn_gamma,omitempty"`
+	InitialGamma         *float64 `json:"initial_gamma,omitempty"`
+	SymmetricPropagation *bool    `json:"symmetric_propagation,omitempty"`
+}
+
+// JobSpec is a fit submission. K is required unless WarmStartFrom names a
+// finished job, in which case K defaults to (and must match) that fit's K.
+// Truth maps object IDs to ground-truth labels and enables NMI/ARI/purity
+// on the result.
+type JobSpec struct {
+	NetworkID     string         `json:"network_id"`
+	K             int            `json:"k"`
+	Options       *JobOptions    `json:"options,omitempty"`
+	Truth         map[string]int `json:"truth,omitempty"`
+	WarmStartFrom string         `json:"warm_start_from,omitempty"`
+}
+
+// Progress is a fit progress report: completed outer iterations out of the
+// configured budget (the fit may stop earlier on convergence).
+type Progress struct {
+	Outer      int `json:"outer"`
+	OuterTotal int `json:"outer_total"`
+}
+
+// Job is a job's status.
+type Job struct {
+	ID        string    `json:"id"`
+	NetworkID string    `json:"network_id"`
+	State     JobState  `json:"state"`
+	Progress  *Progress `json:"progress,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Created   string    `json:"created"`
+	Started   string    `json:"started,omitempty"`
+	Finished  string    `json:"finished,omitempty"`
+}
+
+// ObjectResult is one clustered object: its hard assignment and soft
+// membership row.
+type ObjectResult struct {
+	ID      string    `json:"id"`
+	Type    string    `json:"type"`
+	Cluster int       `json:"cluster"`
+	Theta   []float64 `json:"theta"`
+}
+
+// Metrics are the eval scores against submitted ground truth.
+type Metrics struct {
+	NMI     float64 `json:"nmi"`
+	ARI     float64 `json:"ari"`
+	Purity  float64 `json:"purity"`
+	Labeled int     `json:"labeled_objects"`
+}
+
+// Result is a finished job's fitted model.
+type Result struct {
+	ID              string             `json:"id"`
+	K               int                `json:"k"`
+	Objects         []ObjectResult     `json:"objects"`
+	Gamma           map[string]float64 `json:"gamma"`
+	Objective       float64            `json:"objective"`
+	PseudoLL        float64            `json:"pseudo_ll"`
+	EMIterations    int                `json:"em_iterations"`
+	OuterIterations int                `json:"outer_iterations"`
+	Metrics         *Metrics           `json:"metrics,omitempty"`
+}
+
+// Model rebuilds a local genclus.Model from the fetched result, so a fit
+// computed by the service can seed a local Model.Refit. The service result
+// carries Θ (per object) and γ but not the fitted attribute component
+// models, so a refit from the rebuilt model warm-starts memberships and
+// strengths while re-initializing attribute models from the data — still a
+// fraction of a cold start on a converged source fit.
+func (r *Result) Model() (*genclus.Model, error) {
+	theta := make([][]float64, len(r.Objects))
+	ids := make([]string, len(r.Objects))
+	for i, o := range r.Objects {
+		theta[i] = o.Theta
+		ids[i] = o.ID
+	}
+	res := &genclus.Result{
+		K:               r.K,
+		Theta:           theta,
+		Gamma:           r.Gamma,
+		Objective:       r.Objective,
+		PseudoLL:        r.PseudoLL,
+		EMIterations:    r.EMIterations,
+		OuterIterations: r.OuterIterations,
+	}
+	return genclus.NewModel(res, ids)
+}
+
+// Health is the service's liveness report.
+type Health struct {
+	Status        string         `json:"status"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Workers       int            `json:"workers"`
+	Networks      int            `json:"networks"`
+	Jobs          map[string]int `json:"jobs"`
+}
+
+// UploadNetwork serializes and uploads a network, returning its server-side
+// ID for job submissions.
+func (c *Client) UploadNetwork(ctx context.Context, net *genclus.Network) (*NetworkInfo, error) {
+	data, err := json.Marshal(net)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode network: %w", err)
+	}
+	return c.UploadNetworkJSON(ctx, data)
+}
+
+// UploadNetworkJSON uploads an already-serialized network document (the
+// format written by Network.SaveFile / cmd/datagen).
+func (c *Client) UploadNetworkJSON(ctx context.Context, data []byte) (*NetworkInfo, error) {
+	var out NetworkInfo
+	// An upload is not idempotent from the server's perspective (each
+	// attempt registers a new network), but retrying after a transient
+	// failure only risks an orphaned upload that the TTL sweeper collects.
+	if err := c.do(ctx, http.MethodPost, "/v1/networks", data, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitJob submits a fit. Submission is NOT retried: a retry after an
+// ambiguous failure could double-schedule the fit. Callers who want
+// resilience should check for the job by listing health or resubmit
+// explicitly.
+func (c *Client) SubmitJob(ctx context.Context, spec JobSpec) (*Job, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode job spec: %w", err)
+	}
+	var out Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", payload, false, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JobStatus fetches a job's current state and progress.
+func (c *Client) JobStatus(ctx context.Context, jobID string) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+jobID, nil, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JobResult fetches a finished job's fitted model. The service answers 409
+// while the job is still queued or running; use WaitForResult to block
+// until it is done.
+func (c *Client) JobResult(ctx context.Context, jobID string) (*Result, error) {
+	var out Result
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+jobID+"/result", nil, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CancelJob cancels a queued or running job (idempotent: cancelling a
+// terminal job is a no-op) and returns the resulting status.
+func (c *Client) CancelJob(ctx context.Context, jobID string) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+jobID, nil, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health fetches the service's liveness and queue statistics.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var out Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JobError reports a job that reached a terminal state other than done.
+type JobError struct {
+	JobID   string
+	State   JobState
+	Message string
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("genclusd: job %s %s: %s", e.JobID, e.State, e.Message)
+}
+
+// WaitForResult blocks until the job reaches a terminal state and returns
+// its result. It consumes the live event stream when the server provides
+// one and degrades to status polling otherwise; either way it returns as
+// soon as ctx is cancelled. A failed or cancelled job surfaces as a
+// *JobError.
+func (c *Client) WaitForResult(ctx context.Context, jobID string) (*Result, error) {
+	final, err := c.waitTerminal(ctx, jobID)
+	if err != nil {
+		return nil, err
+	}
+	if final.State != StateDone {
+		return nil, &JobError{JobID: jobID, State: final.State, Message: final.Error}
+	}
+	return c.JobResult(ctx, jobID)
+}
+
+// waitTerminal blocks until the job's state is terminal, preferring the
+// event stream over polling.
+func (c *Client) waitTerminal(ctx context.Context, jobID string) (*Job, error) {
+	var final *Job
+	err := c.StreamEvents(ctx, jobID, func(ev Event) error {
+		if ev.Job != nil && ev.Job.State.Terminal() {
+			final = ev.Job
+			return ErrStopStreaming
+		}
+		return nil
+	})
+	switch {
+	case err == nil && final != nil:
+		return final, nil
+	case err == nil:
+		// Stream ended without a terminal state (server closed early);
+		// fall through to polling.
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return nil, err
+	case IsNotFound(err):
+		// Ambiguous: the job may be unknown, or the server may predate the
+		// /events endpoint (the /v1 surface is additive-only, so both are
+		// in-policy). One status request disambiguates.
+		job, serr := c.JobStatus(ctx, jobID)
+		if serr != nil {
+			return nil, serr
+		}
+		if job.State.Terminal() {
+			return job, nil
+		}
+	}
+	// Polling fallback: the stream failed for a reason worth surviving
+	// (proxy stripped streaming, connection dropped mid-fit, older server).
+	for {
+		job, err := c.JobStatus(ctx, jobID)
+		if err != nil {
+			return nil, err
+		}
+		if job.State.Terminal() {
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(c.pollInterval):
+		}
+	}
+}
+
+// do issues one API request with bounded retries on transient failures.
+// Non-2xx responses become *APIError; only idempotent requests and
+// transient statuses (502/503/504) are retried.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, idempotent bool, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		data, err := c.once(ctx, method, path, body)
+		if err == nil {
+			if out == nil || len(data) == 0 {
+				return nil
+			}
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+			}
+			return nil
+		}
+		lastErr = err
+		if !idempotent || attempt >= c.maxRetries || !transient(err) || ctx.Err() != nil {
+			return lastErr
+		}
+		// Cap the exponent so a generous retry budget cannot overflow
+		// time.Duration into an instant-retry hot loop.
+		shift := attempt
+		if shift > 16 {
+			shift = 16
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.retryBase << shift):
+		}
+	}
+}
+
+// once issues a single HTTP request and maps non-2xx to *APIError.
+func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: read %s %s response: %w", method, path, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: errorMessage(data)}
+	}
+	return data, nil
+}
+
+// errorMessage extracts the server's {"error": ...} message, falling back
+// to the raw body.
+func errorMessage(body []byte) string {
+	var er struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &er); err == nil && er.Error != "" {
+		return er.Error
+	}
+	return strings.TrimSpace(string(body))
+}
+
+// transient reports whether an error is worth retrying: network-level
+// failures and gateway-ish statuses.
+func transient(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.StatusCode {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	// Anything that never produced an HTTP status (dial failure, reset,
+	// dropped connection) — but not a context cancellation.
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,74 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"genclus"
+	"genclus/client"
+	"genclus/internal/server"
+)
+
+// ExampleClient_WaitForResult drives the full SDK flow against an
+// in-process genclusd: upload a network, submit a fit, block on the live
+// event stream until the job finishes, and read the fitted model. Against a
+// real deployment, replace the httptest URL with the daemon's address.
+func ExampleClient_WaitForResult() {
+	srv := server.New(server.Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	b := genclus.NewBuilder()
+	b.DeclareAttribute(genclus.AttrSpec{Name: "text", Kind: genclus.Categorical, VocabSize: 10})
+	for i := 0; i < 4; i++ {
+		red := fmt.Sprintf("red%d", i)
+		blue := fmt.Sprintf("blue%d", i)
+		b.AddObject(red, "doc")
+		b.AddObject(blue, "doc")
+		for w := 0; w < 8; w++ {
+			b.AddTermCount(red, "text", w%5, 1)
+			b.AddTermCount(blue, "text", 5+w%5, 1)
+		}
+	}
+	net, err := b.Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	ctx := context.Background()
+	c := client.New(ts.URL)
+	info, err := c.UploadNetwork(ctx, net)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	seed := int64(5)
+	job, err := c.SubmitJob(ctx, client.JobSpec{
+		NetworkID: info.ID,
+		K:         2,
+		Options:   &client.JobOptions{Seed: &seed},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := c.WaitForResult(ctx, job.ID)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	clusters := make(map[string]int, len(res.Objects))
+	for _, o := range res.Objects {
+		clusters[o.ID] = o.Cluster
+	}
+	fmt.Println("objects clustered:", len(res.Objects))
+	fmt.Println("red and blue separated:", clusters["red0"] != clusters["blue0"])
+	// Output:
+	// objects clustered: 8
+	// red and blue separated: true
+}

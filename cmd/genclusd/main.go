@@ -1,13 +1,16 @@
 // Command genclusd is the GenClus clustering service: a long-running HTTP
 // daemon that accepts network uploads, fits GenClus models on an async job
-// queue with a bounded worker pool, and serves the fitted results.
+// queue with a bounded worker pool, streams fit progress over Server-Sent
+// Events (GET /v1/jobs/{id}/events), supports warm-starting a job from a
+// finished one (warm_start_from), and serves the fitted results.
 //
 // Usage:
 //
 //	genclusd [-addr :8080] [-workers N] [-queue 64] [-ttl 1h]
 //	         [-max-body 33554432]
 //
-// See README.md for the API and curl examples.
+// The genclus/client package is the typed Go SDK for this daemon; see
+// README.md for it and for the raw HTTP API.
 package main
 
 import (
@@ -47,6 +50,10 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// End live SSE streams as soon as a graceful shutdown starts —
+	// otherwise an attached events consumer holds Shutdown open for its
+	// whole timeout.
+	httpSrv.RegisterOnShutdown(srv.DrainStreams)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -53,6 +53,69 @@ func ExampleFit() {
 	// hub joins the red camp: true
 }
 
+// ExampleModel_Refit fits a small two-topic network, grows it by a few
+// documents, and warm-starts the re-clustering from the fitted model — the
+// evolving-network workflow. The refit converges in a fraction of a cold
+// start's EM iterations and keeps the carried-over labels.
+func ExampleModel_Refit() {
+	build := func(perTopic, extra int) *genclus.Network {
+		b := genclus.NewBuilder()
+		b.DeclareAttribute(genclus.AttrSpec{Name: "text", Kind: genclus.Categorical, VocabSize: 20})
+		add := func(topic, i int, tag string) string {
+			id := fmt.Sprintf("%s%d_%d", tag, topic, i)
+			b.AddObject(id, "doc")
+			for w := 0; w < 8; w++ {
+				b.AddTermCount(id, "text", topic*10+(i+w)%10, 1)
+			}
+			return id
+		}
+		for topic := 0; topic < 2; topic++ {
+			ids := make([]string, perTopic)
+			for i := range ids {
+				ids[i] = add(topic, i, "doc")
+			}
+			for i, id := range ids {
+				b.AddLink(id, ids[(i+1)%perTopic], "cites", 1)
+			}
+			for i := 0; i < extra; i++ {
+				id := add(topic, i, "new")
+				b.AddLink(id, ids[i%perTopic], "cites", 1)
+			}
+		}
+		net, err := b.Build()
+		if err != nil {
+			panic(err)
+		}
+		return net
+	}
+
+	opts := genclus.DefaultOptions(2)
+	opts.Seed = 1
+	opts.EMTol = 1e-9
+	opts.OuterTol = 1e-9
+	model, err := genclus.Fit(build(20, 0), opts)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	grown := build(20, 2) // same 40 docs plus 4 new ones
+	refit, err := model.Refit(grown, genclus.DefaultOptions(2))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	labels := refit.HardLabels()
+	old0, _ := grown.IndexOf("doc0_0")
+	new0, _ := grown.IndexOf("new0_0")
+	other, _ := grown.IndexOf("doc1_0")
+	fmt.Println("refit cheaper than cold fit:", refit.EMIterations < model.EMIterations)
+	fmt.Println("new doc joins its topic:", labels[new0] == labels[old0] && labels[new0] != labels[other])
+	// Output:
+	// refit cheaper than cold fit: true
+	// new doc joins its topic: true
+}
+
 // ExampleInferSchema derives the typed structure of a generated network.
 func ExampleInferSchema() {
 	ds, err := genclus.GenerateWeather(genclus.WeatherSetting1(30, 15, 1, 1))

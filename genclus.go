@@ -70,21 +70,80 @@ type TermCount = hin.TermCount
 // NewBuilder returns an empty network builder.
 func NewBuilder() *Builder { return hin.NewBuilder() }
 
-// LoadNetwork reads a network from a JSON file produced by Network.SaveFile
-// (or by cmd/datagen).
-func LoadNetwork(path string) (*Network, error) { return hin.LoadFile(path) }
+// Limits bounds what a decoded network may allocate; see DefaultDecodeLimits.
+type Limits = hin.Limits
 
-// NetworkFromJSON parses a serialized network.
-func NetworkFromJSON(data []byte) (*Network, error) { return hin.FromJSON(data) }
+// LimitError reports input rejected because it exceeded a Limits bound
+// (errors.As-distinguishable from malformed-document errors).
+type LimitError = hin.LimitError
+
+// DefaultDecodeLimits is the bound NetworkFromJSON and LoadNetwork apply:
+// generous enough for any workload this library can actually fit in memory,
+// tight enough that a small hostile document cannot force a giant
+// allocation (a declared vocabulary size in particular multiplies into
+// K×Vocab floats per categorical attribute on every fit). Pass explicit
+// Limits — including the zero value for "unlimited" — to
+// NetworkFromJSONLimited / LoadNetworkLimited to override.
+func DefaultDecodeLimits() Limits {
+	return Limits{
+		MaxObjects:      50_000_000,
+		MaxLinks:        500_000_000,
+		MaxAttributes:   1024,
+		MaxVocab:        50_000_000,
+		MaxObservations: 2_000_000_000,
+	}
+}
+
+// LoadNetwork reads a network from a JSON file produced by Network.SaveFile
+// (or by cmd/datagen), enforcing DefaultDecodeLimits.
+func LoadNetwork(path string) (*Network, error) {
+	return hin.LoadFileLimited(path, DefaultDecodeLimits())
+}
+
+// LoadNetworkLimited is LoadNetwork with caller-chosen bounds. A zero field
+// means "no limit" on that dimension; Limits{} disables bounding entirely.
+func LoadNetworkLimited(path string, lim Limits) (*Network, error) {
+	return hin.LoadFileLimited(path, lim)
+}
+
+// NetworkFromJSON parses a serialized network, enforcing
+// DefaultDecodeLimits.
+func NetworkFromJSON(data []byte) (*Network, error) {
+	return hin.FromJSONLimited(data, DefaultDecodeLimits())
+}
+
+// NetworkFromJSONLimited is NetworkFromJSON with caller-chosen bounds. A
+// zero field means "no limit" on that dimension; Limits{} disables bounding
+// entirely.
+func NetworkFromJSONLimited(data []byte, lim Limits) (*Network, error) {
+	return hin.FromJSONLimited(data, lim)
+}
 
 // Options configures a GenClus fit; see DefaultOptions for the
 // paper-faithful defaults.
 type Options = core.Options
 
-// Result is a fitted model: soft memberships Θ, learned link-type strengths
-// γ, fitted attribute component models, and (optionally) per-iteration
-// snapshots.
+// Result is the fitted quantities of a model: soft memberships Θ, learned
+// link-type strengths γ, fitted attribute component models, iteration
+// counts, and (optionally) per-iteration snapshots.
 type Result = core.Result
+
+// Model is a fitted, reusable GenClus model: it embeds the Result and
+// retains the source network's object identities so Model.Refit can
+// warm-start a later fit on a grown or perturbed network (memberships carry
+// over by object ID, strengths by relation name, attribute models by
+// attribute name). A refit from a converged model on an unchanged network
+// terminates in a couple of EM iterations.
+type Model = core.Model
+
+// NewModel reassembles a Model from a Result and the source network's
+// object IDs in Theta row order — the rehydration path for fitted state
+// that crossed a serialization boundary, e.g. a persisted Result or a
+// genclusd job result fetched through the client SDK (client.Result.Model
+// does exactly this), so remote fits can seed local Refits.
+func NewModel(res *Result, objectIDs []string) (*Model, error) {
+	return core.NewModel(res, objectIDs)
+}
 
 // Snapshot is one outer-iteration state when Options.TrackHistory is set.
 type Snapshot = core.Snapshot
@@ -104,8 +163,10 @@ func DefaultOptions(k int) Options { return core.DefaultOptions(k) }
 
 // Fit runs GenClus (Algorithm 1 of the paper): alternating cluster
 // optimization (EM over Θ and the attribute parameters) and link-type
-// strength learning (projected Newton–Raphson over γ).
-func Fit(net *Network, opts Options) (*Result, error) { return core.Fit(net, opts) }
+// strength learning (projected Newton–Raphson over γ). The returned Model
+// embeds the Result and can be refitted on an evolved network via
+// Model.Refit.
+func Fit(net *Network, opts Options) (*Model, error) { return core.Fit(net, opts) }
 
 // NMI computes normalized mutual information between two labelings.
 func NMI(pred, truth []int) (float64, error) { return eval.NMI(pred, truth) }

@@ -38,10 +38,20 @@ type Result struct {
 	// Options.TrackHistory is set (Snapshot.Iter starts at 0 = initial
 	// state, mirroring Fig. 10 which plots the all-one γ at iteration 0).
 	History []Snapshot
+	// EMIterations counts every inner EM iteration the fit executed,
+	// including the best-of-seeds candidate runs — the work metric that
+	// makes cold fits and warm-started refits comparable.
+	EMIterations int
+	// OuterIterations counts the outer alternations actually run (OuterTol
+	// may stop the fit before Options.OuterIters).
+	OuterIterations int
 }
 
-// Fit runs GenClus (Algorithm 1) on the network.
-func Fit(net *hin.Network, opts Options) (*Result, error) {
+// Fit runs GenClus (Algorithm 1) on the network and returns the fitted
+// Model. The Model embeds the Result, so res.Theta, res.Gamma and friends
+// read as before; it additionally retains enough source-network identity to
+// warm-start a later fit via Model.Refit.
+func Fit(net *hin.Network, opts Options) (*Model, error) {
 	return FitContext(context.Background(), net, opts)
 }
 
@@ -52,14 +62,14 @@ func Fit(net *hin.Network, opts Options) (*Result, error) {
 // initialization and after every completed outer iteration (from the
 // calling goroutine, so the callback needs no synchronization with the fit
 // itself).
-func FitContext(ctx context.Context, net *hin.Network, opts Options) (*Result, error) {
-	if err := opts.validate(net); err != nil {
+func FitContext(ctx context.Context, net *hin.Network, opts Options) (*Model, error) {
+	if err := opts.Validate(net); err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s := initializeState(ctx, net, opts)
+	s, emTotal := initializeState(ctx, net, opts)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -78,10 +88,12 @@ func FitContext(ctx context.Context, net *hin.Network, opts Options) (*Result, e
 	}
 
 	var g2 float64
+	outerRun := 0
 	for outer := 0; outer < opts.OuterIters; outer++ {
+		outerRun = outer + 1
 		prevGamma := append([]float64(nil), s.gamma...)
 		// Step 1: cluster optimization (EM on Θ, β with γ fixed).
-		s.runEM(opts.EMIters)
+		emTotal += s.runEM(opts.EMIters)
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -121,33 +133,41 @@ func FitContext(ctx context.Context, net *hin.Network, opts Options) (*Result, e
 	}
 
 	res := &Result{
-		K:         opts.K,
-		Theta:     cloneTheta(s.theta),
-		Gamma:     make(map[string]float64, net.NumRelations()),
-		GammaVec:  append([]float64(nil), s.gamma...),
-		Attrs:     s.snapshotModels(),
-		Objective: s.objectiveG1(),
-		PseudoLL:  g2,
-		History:   history,
+		K:               opts.K,
+		Theta:           cloneTheta(s.theta),
+		Gamma:           make(map[string]float64, net.NumRelations()),
+		GammaVec:        append([]float64(nil), s.gamma...),
+		Attrs:           s.snapshotModels(),
+		Objective:       s.objectiveG1(),
+		PseudoLL:        g2,
+		History:         history,
+		EMIterations:    emTotal,
+		OuterIterations: outerRun,
 	}
 	for r := 0; r < net.NumRelations(); r++ {
 		res.Gamma[net.RelationName(r)] = s.gamma[r]
 	}
-	return res, nil
+	ids := make([]string, net.NumObjects())
+	for v := range ids {
+		ids[v] = net.Object(v).ID
+	}
+	return &Model{Result: res, objectIDs: ids}, nil
 }
 
 // initializeState applies the §4.3 initialization policy: either a single
 // random start, or best-of-seeds (run a few EM steps from several random
 // starts and keep the one with the highest g₁). ctx aborts the candidate
-// EM runs early; the caller notices the cancellation right after.
-func initializeState(ctx context.Context, net *hin.Network, opts Options) *state {
+// EM runs early; the caller notices the cancellation right after. The
+// second return value counts the EM iterations spent on seeding.
+func initializeState(ctx context.Context, net *hin.Network, opts Options) (*state, int) {
 	if opts.InitSeeds <= 1 || opts.InitTheta != nil {
 		s := newState(net, opts, opts.Seed, false)
 		s.ctx = ctx
-		return s
+		return s, 0
 	}
 	var best *state
 	bestG1 := math.Inf(-1)
+	emTotal := 0
 	for i := 0; i < opts.InitSeeds; i++ {
 		if i > 0 && ctx.Err() != nil {
 			break
@@ -157,7 +177,7 @@ func initializeState(ctx context.Context, net *hin.Network, opts Options) *state
 		// permute component means per attribute to explore other pairings.
 		cand := newState(net, opts, opts.Seed+int64(i)*1_000_003, i > 0)
 		cand.ctx = ctx
-		cand.runEM(opts.InitSeedSteps)
+		emTotal += cand.runEM(opts.InitSeedSteps)
 		if best == nil {
 			// Fallback so a NaN objective on every candidate (possible with
 			// pathological numeric observations) still yields a state
@@ -169,7 +189,7 @@ func initializeState(ctx context.Context, net *hin.Network, opts Options) *state
 			best = cand
 		}
 	}
-	return best
+	return best, emTotal
 }
 
 // HardLabels converts soft memberships to argmax cluster labels.

@@ -74,6 +74,9 @@ func newState(net *hin.Network, opts Options, seed int64, permuteGauss bool) *st
 	for r := range s.gamma {
 		s.gamma[r] = g0
 	}
+	if opts.InitGamma != nil {
+		copy(s.gamma, opts.InitGamma)
+	}
 	s.initTheta()
 	s.initAttrModels()
 	return s
@@ -97,15 +100,59 @@ func (s *state) initTheta() {
 }
 
 func (s *state) initAttrModels() {
+	warm := make(map[string]AttrModel, len(s.opts.InitAttrs))
+	for _, am := range s.opts.InitAttrs {
+		warm[am.Name] = am
+	}
 	for _, a := range s.attrs {
 		spec := s.net.Attr(a)
 		switch spec.Kind {
 		case hin.Categorical:
-			s.cat[a] = s.initCat(a, spec)
+			if am, ok := warm[spec.Name]; ok && am.Kind == hin.Categorical {
+				s.cat[a] = warmCat(am.Cat, spec.VocabSize)
+			} else {
+				s.cat[a] = s.initCat(a, spec)
+			}
 		case hin.Numeric:
-			s.gauss[a] = s.initGauss(a)
+			if am, ok := warm[spec.Name]; ok && am.Kind == hin.Numeric {
+				s.gauss[a] = &GaussParams{
+					Mu:  append([]float64(nil), am.Gauss.Mu...),
+					Var: append([]float64(nil), am.Gauss.Var...),
+				}
+			} else {
+				s.gauss[a] = s.initGauss(a)
+			}
 		}
 	}
+}
+
+// warmCat deep-copies a warm-start categorical model onto the network's
+// vocabulary. A grown vocabulary gets uniform residual mass on the new
+// terms: each component keeps its learned shape but can still claim terms
+// it has never seen.
+func warmCat(src *CatParams, vocab int) *CatParams {
+	beta := make([][]float64, len(src.Beta))
+	for k, row := range src.Beta {
+		dst := make([]float64, vocab)
+		copy(dst, row)
+		if extra := vocab - len(row); extra > 0 {
+			// Give the unseen tail the mass of one average seen term,
+			// spread uniformly, then renormalize. Scale by the row's actual
+			// mass so unnormalized warm-start rows (Validate only requires
+			// sum > 0) get the same relative share as normalized ones.
+			var mass float64
+			for _, p := range row {
+				mass += p
+			}
+			fill := mass / float64(len(row)*(extra))
+			for l := len(row); l < vocab; l++ {
+				dst[l] = fill
+			}
+		}
+		stats.Normalize(dst)
+		beta[k] = dst
+	}
+	return &CatParams{Beta: beta}
 }
 
 // initCat gives each cluster a perturbed-uniform term distribution — the

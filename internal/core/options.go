@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"genclus/internal/hin"
 )
@@ -124,6 +125,20 @@ type Options struct {
 	// and normalized). When set, InitSeeds is ignored.
 	InitTheta [][]float64
 
+	// InitGamma warm-starts the per-relation strengths instead of the
+	// uniform InitialGamma vector. Indexed by the network's dense relation
+	// ids; entries must be ≥ 0. Model.Refit populates it from a prior fit.
+	InitGamma []float64
+
+	// InitAttrs warm-starts the attribute component models. Entries are
+	// matched to the network's attributes by name; an entry whose kind or
+	// component count disagrees with the fit is rejected by Validate, and
+	// names absent from the network are ignored (the network may have
+	// dropped an attribute since the source fit). A categorical entry whose
+	// vocabulary is smaller than the network's is extended with uniform
+	// mass on the new terms, so warm starts survive vocabulary growth.
+	InitAttrs []AttrModel
+
 	// Progress, when non-nil, is invoked by FitContext after initialization
 	// (Outer = 0) and after each completed outer iteration. It runs on the
 	// fitting goroutine and must return promptly.
@@ -162,9 +177,7 @@ func DefaultOptions(k int) Options {
 // Validate checks the options against the network without fitting — the
 // genclusd API uses it to reject bad job submissions with a 4xx before
 // anything is queued. Fit repeats the same checks.
-func (o Options) Validate(net *hin.Network) error { return o.validate(net) }
-
-func (o Options) validate(net *hin.Network) error {
+func (o Options) Validate(net *hin.Network) error {
 	if net == nil {
 		return fmt.Errorf("core: nil network")
 	}
@@ -224,7 +237,75 @@ func (o Options) validate(net *hin.Network) error {
 			}
 		}
 	}
+	if o.InitGamma != nil {
+		if len(o.InitGamma) != net.NumRelations() {
+			return fmt.Errorf("core: InitGamma has %d entries for %d relations", len(o.InitGamma), net.NumRelations())
+		}
+		for r, g := range o.InitGamma {
+			if g < 0 || math.IsNaN(g) || math.IsInf(g, 0) {
+				return fmt.Errorf("core: InitGamma[%d] = %v, want finite ≥ 0", r, g)
+			}
+		}
+	}
+	for _, am := range o.InitAttrs {
+		a, ok := net.AttrID(am.Name)
+		if !ok {
+			continue // attribute dropped from the network since the source fit
+		}
+		spec := net.Attr(a)
+		if am.Kind != spec.Kind {
+			return fmt.Errorf("core: InitAttrs[%q] is %s, network declares %s", am.Name, am.Kind, spec.Kind)
+		}
+		switch spec.Kind {
+		case hin.Categorical:
+			if am.Cat == nil || len(am.Cat.Beta) != o.K {
+				return fmt.Errorf("core: InitAttrs[%q] has %d categorical components, want K=%d", am.Name, catComponents(am.Cat), o.K)
+			}
+			for k, row := range am.Cat.Beta {
+				if len(row) == 0 || len(row) > spec.VocabSize {
+					return fmt.Errorf("core: InitAttrs[%q] component %d has vocabulary %d, network declares %d", am.Name, k, len(row), spec.VocabSize)
+				}
+				var sum float64
+				for _, p := range row {
+					if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+						return fmt.Errorf("core: InitAttrs[%q] component %d has invalid term probability %v", am.Name, k, p)
+					}
+					sum += p
+				}
+				if sum <= 0 {
+					return fmt.Errorf("core: InitAttrs[%q] component %d has zero total mass", am.Name, k)
+				}
+			}
+		case hin.Numeric:
+			if am.Gauss == nil || len(am.Gauss.Mu) != o.K || len(am.Gauss.Var) != o.K {
+				return fmt.Errorf("core: InitAttrs[%q] has %d Gaussian components, want K=%d", am.Name, gaussComponents(am.Gauss), o.K)
+			}
+			for k := 0; k < o.K; k++ {
+				mu, v := am.Gauss.Mu[k], am.Gauss.Var[k]
+				if math.IsNaN(mu) || math.IsInf(mu, 0) {
+					return fmt.Errorf("core: InitAttrs[%q] component %d has invalid mean %v", am.Name, k, mu)
+				}
+				if !(v > 0) || math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("core: InitAttrs[%q] component %d has invalid variance %v", am.Name, k, v)
+				}
+			}
+		}
+	}
 	return nil
+}
+
+func catComponents(c *CatParams) int {
+	if c == nil {
+		return 0
+	}
+	return len(c.Beta)
+}
+
+func gaussComponents(g *GaussParams) int {
+	if g == nil {
+		return 0
+	}
+	return len(g.Mu)
 }
 
 // attrIDs resolves the attribute subset to dense ids (all attributes when

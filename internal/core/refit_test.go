@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"genclus/internal/hin"
+)
+
+// buildDocNet constructs a clearly two-clustered citation network, fully
+// deterministically: perTopic docs per topic with disjoint vocabulary
+// blocks and within-topic cites links, plus extraPerTopic "grown" docs per
+// topic appended after the base structure. The base part is bit-identical
+// across calls with different extraPerTopic, which is what makes warm
+// starts across the two networks meaningful.
+func buildDocNet(t *testing.T, perTopic, extraPerTopic int) *hin.Network {
+	t.Helper()
+	b := hin.NewBuilder()
+	b.DeclareAttribute(hin.AttrSpec{Name: "text", Kind: hin.Categorical, VocabSize: 20})
+	addDoc := func(topic, i int, tag string) string {
+		id := fmt.Sprintf("%s%d_%04d", tag, topic, i)
+		b.AddObject(id, "doc")
+		for w := 0; w < 8; w++ {
+			b.AddTermCount(id, "text", topic*10+(i+w)%10, 1)
+		}
+		return id
+	}
+	base := [2][]string{}
+	for topic := 0; topic < 2; topic++ {
+		for i := 0; i < perTopic; i++ {
+			base[topic] = append(base[topic], addDoc(topic, i, "doc"))
+		}
+	}
+	for topic := 0; topic < 2; topic++ {
+		for i, id := range base[topic] {
+			b.AddLink(id, base[topic][(i+1)%perTopic], "cites", 1)
+			b.AddLink(id, base[topic][(i+3)%perTopic], "cites", 1)
+		}
+	}
+	for topic := 0; topic < 2; topic++ {
+		for i := 0; i < extraPerTopic; i++ {
+			id := addDoc(topic, i, "new")
+			b.AddLink(id, base[topic][i%perTopic], "cites", 1)
+			b.AddLink(base[topic][(i+5)%perTopic], id, "cites", 1)
+		}
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// convergedFitOpts fits to a tight fixed point so a refit has a genuinely
+// converged starting state.
+func convergedFitOpts(k int) Options {
+	opts := DefaultOptions(k)
+	opts.Seed = 1
+	opts.OuterIters = 30
+	opts.EMIters = 50
+	opts.EMTol = 1e-9
+	opts.OuterTol = 1e-9
+	return opts
+}
+
+// TestRefitUnchangedNetwork is the tentpole warm-start guarantee: refitting
+// a converged model on the unchanged network terminates within 2 EM
+// iterations and reproduces the hard labels exactly.
+func TestRefitUnchangedNetwork(t *testing.T) {
+	net := buildDocNet(t, 40, 0)
+	m, err := Fit(net, convergedFitOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refit, err := m.Refit(net, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refit.EMIterations > 2 {
+		t.Errorf("refit of a converged model ran %d EM iterations, want ≤ 2", refit.EMIterations)
+	}
+	want, got := m.HardLabels(), refit.HardLabels()
+	for v := range want {
+		if want[v] != got[v] {
+			t.Fatalf("object %d relabeled by refit: %d → %d", v, want[v], got[v])
+		}
+	}
+	if refit.Objective < m.Objective-1e-6 {
+		t.Errorf("refit objective regressed: %v → %v", m.Objective, refit.Objective)
+	}
+}
+
+// TestRefitGrownNetwork grows the network by 5% and requires the warm
+// start to converge in fewer EM iterations than a cold fit, at an equal or
+// better objective.
+func TestRefitGrownNetwork(t *testing.T) {
+	base := buildDocNet(t, 40, 0)
+	grown := buildDocNet(t, 40, 2) // 4 new docs on 80 = 5%
+
+	m, err := Fit(base, convergedFitOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold fit on the grown network with the same stopping rules the refit
+	// uses, so iteration counts compare like for like.
+	coldOpts := convergedFitOpts(2)
+	coldOpts.EMTol = 1e-6
+	coldOpts.OuterTol = 1e-6
+	cold, err := Fit(grown, coldOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refitOpts := DefaultOptions(2)
+	refitOpts.OuterIters = 30
+	refitOpts.EMIters = 50
+	warm, err := m.Refit(grown, refitOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if warm.EMIterations >= cold.EMIterations {
+		t.Errorf("warm refit ran %d EM iterations, cold fit %d — warm start bought nothing",
+			warm.EMIterations, cold.EMIterations)
+	}
+	tol := 1e-6 * (1 + absFloat(cold.Objective))
+	if warm.Objective < cold.Objective-tol {
+		t.Errorf("warm refit objective %v worse than cold fit %v", warm.Objective, cold.Objective)
+	}
+
+	// Carried-over objects keep their clusters relative to each other: the
+	// two topics stay separated and new docs join their topic's cluster.
+	labels := warm.HardLabels()
+	first := map[int]int{} // topic → cluster of its first doc
+	for v := 0; v < grown.NumObjects(); v++ {
+		id := grown.Object(v).ID
+		var topic int
+		if _, err := fmt.Sscanf(id[len(id)-6:], "%d_", &topic); err != nil {
+			t.Fatalf("unparseable test id %q", id)
+		}
+		if c, ok := first[topic]; !ok {
+			first[topic] = labels[v]
+		} else if c != labels[v] {
+			t.Fatalf("topic %d split across clusters (object %s)", topic, id)
+		}
+	}
+	if first[0] == first[1] {
+		t.Error("topics merged into one cluster after refit")
+	}
+}
+
+func absFloat(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestWarmStartMapping exercises the identity-based carry-over: objects map
+// by ID, relations by name, attributes by name with vocabulary growth.
+func TestWarmStartMapping(t *testing.T) {
+	base := buildDocNet(t, 10, 0)
+	m, err := Fit(base, convergedFitOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A differently-shaped target: shared doc IDs, one brand-new object, a
+	// new relation, and a grown vocabulary.
+	b := hin.NewBuilder()
+	b.DeclareAttribute(hin.AttrSpec{Name: "text", Kind: hin.Categorical, VocabSize: 25})
+	b.AddObject("doc0_0000", "doc")
+	b.AddObject("stranger", "doc")
+	b.AddLink("doc0_0000", "stranger", "mentions", 1)
+	target, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var opts Options = DefaultOptions(0)
+	opts.K = 0
+	if err := m.WarmStartOptions(target, &opts); err != nil {
+		t.Fatal(err)
+	}
+	if opts.K != m.K {
+		t.Fatalf("warm start K = %d, want model K %d", opts.K, m.K)
+	}
+	v0, _ := target.IndexOf("doc0_0000")
+	u0, _ := base.IndexOf("doc0_0000")
+	for k := range opts.InitTheta[v0] {
+		if opts.InitTheta[v0][k] != m.Theta[u0][k] {
+			t.Fatalf("carried-over object got theta %v, want %v", opts.InitTheta[v0], m.Theta[u0])
+		}
+	}
+	vs, _ := target.IndexOf("stranger")
+	for _, x := range opts.InitTheta[vs] {
+		if x != 0.5 {
+			t.Fatalf("new object not uniform: %v", opts.InitTheta[vs])
+		}
+	}
+	if got := opts.InitGamma[0]; got != 1 {
+		t.Errorf("unknown relation strength = %v, want the all-ones default", got)
+	}
+	if err := opts.Validate(target); err != nil {
+		t.Fatalf("warm-start options invalid on vocabulary-grown network: %v", err)
+	}
+
+	// The warm categorical model must normalize after vocabulary extension.
+	res, err := FitContext(t.Context(), target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, row := range res.Attrs[0].Cat.Beta {
+		var sum float64
+		for _, p := range row {
+			sum += p
+		}
+		if absFloat(sum-1) > 1e-9 {
+			t.Errorf("component %d β sums to %v after vocab growth", k, sum)
+		}
+	}
+}
+
+// TestWarmCatUnnormalizedRows: vocabulary-growth fill must scale with the
+// row's actual mass, so user-supplied unnormalized warm rows (Validate only
+// requires sum > 0) still give unseen terms their documented "one average
+// seen term" share.
+func TestWarmCatUnnormalizedRows(t *testing.T) {
+	src := &CatParams{Beta: [][]float64{{600, 200, 200}}} // sums to 1000, not 1
+	got := warmCat(src, 5)
+	row := got.Beta[0]
+	var sum float64
+	for _, p := range row {
+		sum += p
+	}
+	if absFloat(sum-1) > 1e-12 {
+		t.Fatalf("warm row not normalized: sum=%v", sum)
+	}
+	// The two new terms split one average seen term's share: each should be
+	// (1/3)/2 of the seen mass, i.e. 1/6 relative to the seen terms — the
+	// same outcome as for the normalized row {0.6, 0.2, 0.2}.
+	want := warmCat(&CatParams{Beta: [][]float64{{0.6, 0.2, 0.2}}}, 5).Beta[0]
+	for l := range row {
+		if absFloat(row[l]-want[l]) > 1e-12 {
+			t.Fatalf("term %d: unnormalized warm start gives %v, normalized gives %v", l, row[l], want[l])
+		}
+	}
+	if row[3] <= 0 || row[4] <= 0 {
+		t.Fatalf("grown-vocabulary terms locked out: %v", row)
+	}
+}
+
+func TestWarmStartRejectsKMismatch(t *testing.T) {
+	net := buildDocNet(t, 10, 0)
+	m, err := Fit(net, convergedFitOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Refit(net, DefaultOptions(3)); err == nil {
+		t.Fatal("refit at a different K succeeded, want error")
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	net := buildDocNet(t, 10, 0)
+	m, err := Fit(net, convergedFitOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewModel(nil, nil); err == nil {
+		t.Error("NewModel(nil) succeeded")
+	}
+	if _, err := NewModel(m.Result, []string{"just-one"}); err == nil {
+		t.Error("NewModel with mismatched ID count succeeded")
+	}
+	re, err := NewModel(m.Result, m.ObjectIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refit, err := re.Refit(net, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refit.EMIterations > 2 {
+		t.Errorf("rehydrated model refit ran %d EM iterations, want ≤ 2", refit.EMIterations)
+	}
+}
+
+func TestValidateInitGammaAndAttrs(t *testing.T) {
+	net := buildDocNet(t, 5, 0)
+	opts := DefaultOptions(2)
+
+	opts.InitGamma = []float64{1, 2}
+	if err := opts.Validate(net); err == nil {
+		t.Error("wrong-length InitGamma accepted")
+	}
+	opts.InitGamma = []float64{-1}
+	if err := opts.Validate(net); err == nil {
+		t.Error("negative InitGamma accepted")
+	}
+	opts.InitGamma = []float64{1.5}
+	if err := opts.Validate(net); err != nil {
+		t.Errorf("valid InitGamma rejected: %v", err)
+	}
+
+	opts.InitAttrs = []AttrModel{{Name: "text", Kind: hin.Numeric, Gauss: &GaussParams{Mu: []float64{0, 1}, Var: []float64{1, 1}}}}
+	if err := opts.Validate(net); err == nil {
+		t.Error("kind-mismatched InitAttrs accepted")
+	}
+	opts.InitAttrs = []AttrModel{{Name: "text", Kind: hin.Categorical, Cat: &CatParams{Beta: [][]float64{{0.5, 0.5}}}}}
+	if err := opts.Validate(net); err == nil {
+		t.Error("wrong component count accepted")
+	}
+	opts.InitAttrs = []AttrModel{{Name: "gone", Kind: hin.Numeric}}
+	if err := opts.Validate(net); err != nil {
+		t.Errorf("InitAttrs naming a dropped attribute rejected: %v", err)
+	}
+
+	// Degenerate values must be a validation error, not a NaN fit.
+	opts.InitAttrs = []AttrModel{{Name: "text", Kind: hin.Categorical,
+		Cat: &CatParams{Beta: [][]float64{{0.5, 0.5}, {}}}}}
+	if err := opts.Validate(net); err == nil {
+		t.Error("empty categorical component accepted")
+	}
+	opts.InitAttrs = []AttrModel{{Name: "text", Kind: hin.Categorical,
+		Cat: &CatParams{Beta: [][]float64{{0.5, 0.5}, {0, 0}}}}}
+	if err := opts.Validate(net); err == nil {
+		t.Error("zero-mass categorical component accepted")
+	}
+
+	numNet := func() *hin.Network {
+		b := hin.NewBuilder()
+		b.DeclareAttribute(hin.AttrSpec{Name: "temp", Kind: hin.Numeric})
+		b.AddObject("a", "t")
+		b.AddObject("c", "t")
+		b.AddNumeric("a", "temp", 1)
+		b.AddLink("a", "c", "r", 1)
+		n, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}()
+	nOpts := DefaultOptions(2)
+	nOpts.InitAttrs = []AttrModel{{Name: "temp", Kind: hin.Numeric,
+		Gauss: &GaussParams{Mu: []float64{0, 1}, Var: []float64{1, 0}}}}
+	if err := nOpts.Validate(numNet); err == nil {
+		t.Error("zero-variance Gaussian component accepted")
+	}
+	nOpts.InitAttrs = []AttrModel{{Name: "temp", Kind: hin.Numeric,
+		Gauss: &GaussParams{Mu: []float64{0, math.NaN()}, Var: []float64{1, 1}}}}
+	if err := nOpts.Validate(numNet); err == nil {
+		t.Error("NaN Gaussian mean accepted")
+	}
+}

@@ -220,11 +220,18 @@ func (n *Network) SaveFile(path string) error {
 	return nil
 }
 
-// LoadFile reads a network from a JSON file.
+// LoadFile reads a network from a JSON file. It applies no resource
+// limits; load files you did not write with LoadFileLimited.
 func LoadFile(path string) (*Network, error) {
+	return LoadFileLimited(path, Limits{})
+}
+
+// LoadFileLimited is LoadFile with resource limits enforced before any
+// network structure is built.
+func LoadFileLimited(path string, lim Limits) (*Network, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("hin: read %s: %w", path, err)
 	}
-	return FromJSON(data)
+	return FromJSONLimited(data, lim)
 }

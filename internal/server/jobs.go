@@ -38,9 +38,11 @@ type objectInfo struct {
 	Type string
 }
 
-// job is one queued fit. Mutable fields are guarded by mu; the immutable
-// header fields (id, networkID, opts, truth, created) are set before the
-// job is published and never written again.
+// job is one queued fit. Mutable fields are guarded by mu; the header
+// fields (id, networkID, opts, truth, created) are set before the job is
+// published and only written once more, under mu, when finish releases the
+// opts warm-start payloads (run reads opts strictly before any finish can
+// run, so the two never race).
 type job struct {
 	id        string
 	networkID string
@@ -52,8 +54,12 @@ type job struct {
 	state    jobState
 	progress core.Progress
 	errMsg   string
-	result   *core.Result
+	result   *core.Model
 	objects  []objectInfo
+	// subs are live progress subscriptions (the SSE events endpoint). Each
+	// channel has capacity 1 with drop-oldest delivery: a slow consumer
+	// only ever misses intermediate progress, never the latest.
+	subs     map[chan core.Progress]struct{}
 	metrics  *resultMetrics
 	started  time.Time
 	finished time.Time
@@ -71,7 +77,7 @@ type jobSnapshot struct {
 	state             jobState
 	progress          core.Progress
 	errMsg            string
-	result            *core.Result
+	result            *core.Model
 	objects           []objectInfo
 	metrics           *resultMetrics
 	started, finished time.Time
@@ -96,6 +102,44 @@ func (j *job) snapshot() jobSnapshot {
 	}
 }
 
+// subscribe registers a progress subscription; the caller must
+// unsubscribe when done. Terminal transitions are observed via job.done,
+// not the channel.
+func (j *job) subscribe() chan core.Progress {
+	ch := make(chan core.Progress, 1)
+	j.mu.Lock()
+	if j.subs == nil {
+		j.subs = make(map[chan core.Progress]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch
+}
+
+func (j *job) unsubscribe(ch chan core.Progress) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// publishProgress records the latest progress and fans it out to
+// subscribers without ever blocking the fitting goroutine. Under j.mu this
+// is the only sender to each capacity-1 channel, so draining a stale value
+// first guarantees the send lands: a slow consumer misses intermediate
+// reports, never the latest.
+func (j *job) publishProgress(p core.Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.progress = p
+	for ch := range j.subs {
+		select {
+		case <-ch:
+		default:
+		}
+		ch <- p
+	}
+}
+
 // finish transitions the job to a terminal state (idempotent: the first
 // terminal transition wins) and releases waiters.
 func (j *job) finish(state jobState, errMsg string, now time.Time) {
@@ -107,6 +151,12 @@ func (j *job) finish(state jobState, errMsg string, now time.Time) {
 	j.state = state
 	j.errMsg = errMsg
 	j.finished = now
+	// Drop warm-start payloads: a warm-started job's options carry a full
+	// |V|×K InitTheta (plus attribute models), which would otherwise sit on
+	// the finished job until TTL eviction. The fit holds its own copy.
+	j.opts.InitTheta = nil
+	j.opts.InitGamma = nil
+	j.opts.InitAttrs = nil
 	close(j.done)
 }
 
@@ -227,11 +277,7 @@ func (m *manager) run(j *job) {
 	}
 
 	opts := j.opts
-	opts.Progress = func(p core.Progress) {
-		j.mu.Lock()
-		j.progress = p
-		j.mu.Unlock()
-	}
+	opts.Progress = j.publishProgress
 	res, err := core.FitContext(jctx, net, opts)
 	switch {
 	case err == nil:
@@ -260,7 +306,7 @@ func (m *manager) run(j *job) {
 
 // computeMetrics scores the fit against the labeled subset of objects.
 // Returns nil when no truth was submitted or the metrics are undefined.
-func computeMetrics(res *core.Result, truth []int) *resultMetrics {
+func computeMetrics(res *core.Model, truth []int) *resultMetrics {
 	if truth == nil {
 		return nil
 	}

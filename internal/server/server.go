@@ -6,12 +6,23 @@
 //
 // The API surface (all request/response bodies are JSON):
 //
-//	POST   /v1/networks        upload a network (hin JSON format) → {id}
-//	POST   /v1/jobs            submit a fit     → {id, state}
-//	GET    /v1/jobs/{id}       job status and progress
+//	POST   /v1/networks         upload a network (hin JSON format) → {id}
+//	POST   /v1/jobs             submit a fit     → {id, state}
+//	GET    /v1/jobs/{id}        job status and progress
 //	GET    /v1/jobs/{id}/result fitted model (409 until the job is done)
-//	DELETE /v1/jobs/{id}       cancel a queued or running job
-//	GET    /healthz            liveness plus queue statistics
+//	GET    /v1/jobs/{id}/events live progress stream (Server-Sent Events)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /healthz             liveness plus queue statistics
+//
+// A job submission may name a finished job in warm_start_from: the new fit
+// is then warm-started from that job's fitted state (memberships by object
+// ID, strengths by relation name, attribute models by attribute name), so
+// re-clustering a grown or perturbed network converges in a fraction of a
+// cold start's iterations.
+//
+// The /v1 surface is additive-only: fields and endpoints may be added, but
+// existing request fields, response fields, and status codes keep their
+// meaning until a /v2 (see README, "API compatibility").
 //
 // Malformed or oversized input is always a 4xx, never a 5xx: the decoder
 // runs behind http.MaxBytesReader and hin.Limits, and job options are
@@ -25,6 +36,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"genclus/internal/core"
@@ -127,6 +139,11 @@ type Server struct {
 	mux     *http.ServeMux
 	started time.Time
 	sweeper chan struct{} // closed by Close to stop the janitor
+	// draining closes when event streams must end (DrainStreams/Close).
+	// Without it, a live SSE connection would hold http.Server.Shutdown
+	// open for its whole timeout.
+	draining  chan struct{}
+	drainOnce sync.Once
 }
 
 // New builds a Server and starts its worker pool and eviction janitor.
@@ -134,17 +151,19 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	st := newStore(cfg.JobTTL, cfg.now)
 	s := &Server{
-		cfg:     cfg,
-		store:   st,
-		manager: newManager(st, cfg.Workers, cfg.QueueDepth, cfg.now),
-		mux:     http.NewServeMux(),
-		started: cfg.now(),
-		sweeper: make(chan struct{}),
+		cfg:      cfg,
+		store:    st,
+		manager:  newManager(st, cfg.Workers, cfg.QueueDepth, cfg.now),
+		mux:      http.NewServeMux(),
+		started:  cfg.now(),
+		sweeper:  make(chan struct{}),
+		draining: make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /v1/networks", s.handleUploadNetwork)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	go s.janitor()
@@ -154,9 +173,17 @@ func New(cfg Config) *Server {
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the janitor and the worker pool, cancelling running fits and
-// waiting for their goroutines to exit.
+// DrainStreams ends every live event stream (idempotent). Hook it up via
+// http.Server.RegisterOnShutdown so a graceful Shutdown is not held open by
+// attached SSE consumers; Close calls it too.
+func (s *Server) DrainStreams() {
+	s.drainOnce.Do(func() { close(s.draining) })
+}
+
+// Close stops the janitor and the worker pool, cancelling running fits,
+// ending live event streams, and waiting for worker goroutines to exit.
 func (s *Server) Close() {
+	s.DrainStreams()
 	close(s.sweeper)
 	s.manager.close()
 }
@@ -188,15 +215,18 @@ type networkResponse struct {
 	Attributes []string `json:"attributes"`
 }
 
-// jobRequest is a fit submission. K is required; every Options field is
-// optional and overlays core.DefaultOptions(K). Truth optionally maps
-// object IDs to ground-truth cluster labels, enabling eval metrics on the
-// result.
+// jobRequest is a fit submission. K is required unless warm_start_from is
+// set (in which case it defaults to — and must match — the prior fit's K);
+// every Options field is optional and overlays core.DefaultOptions(K).
+// Truth optionally maps object IDs to ground-truth cluster labels, enabling
+// eval metrics on the result. WarmStartFrom names a finished job whose
+// fitted state seeds this fit.
 type jobRequest struct {
-	NetworkID string         `json:"network_id"`
-	K         int            `json:"k"`
-	Options   *jobOptions    `json:"options,omitempty"`
-	Truth     map[string]int `json:"truth,omitempty"`
+	NetworkID     string         `json:"network_id"`
+	K             int            `json:"k"`
+	Options       *jobOptions    `json:"options,omitempty"`
+	Truth         map[string]int `json:"truth,omitempty"`
+	WarmStartFrom string         `json:"warm_start_from,omitempty"`
 }
 
 type jobOptions struct {
@@ -292,7 +322,11 @@ type resultResponse struct {
 	Gamma     map[string]float64 `json:"gamma"`
 	Objective float64            `json:"objective"`
 	PseudoLL  float64            `json:"pseudo_ll"`
-	Metrics   *resultMetrics     `json:"metrics,omitempty"`
+	// EMIterations/OuterIterations expose the fit's work: a warm-started
+	// job should show far fewer than its cold-start source.
+	EMIterations    int            `json:"em_iterations"`
+	OuterIterations int            `json:"outer_iterations"`
+	Metrics         *resultMetrics `json:"metrics,omitempty"`
 }
 
 type healthResponse struct {
@@ -386,6 +420,26 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	// rather than letting one job oversubscribe the box.
 	if procs := runtime.GOMAXPROCS(0); opts.Parallelism > procs {
 		opts.Parallelism = procs
+	}
+	if req.WarmStartFrom != "" {
+		prior, ok := s.store.job(req.WarmStartFrom)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown warm-start job %q", req.WarmStartFrom)
+			return
+		}
+		snap := prior.snapshot()
+		if snap.state != jobDone {
+			writeError(w, http.StatusConflict, "warm-start job %s is %s, not done", req.WarmStartFrom, snap.state)
+			return
+		}
+		// opts.K is req.K: 0 inherits the prior fit's K, otherwise it
+		// must match (RefitOptions rejects a mismatch).
+		warm, err := snap.result.RefitOptions(net, opts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "warm start: %v", err)
+			return
+		}
+		opts = warm
 	}
 	if err := s.checkJobBounds(opts); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
@@ -521,13 +575,15 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resultResponse{
-		ID:        j.id,
-		K:         res.K,
-		Objects:   objects,
-		Gamma:     res.Gamma,
-		Objective: res.Objective,
-		PseudoLL:  res.PseudoLL,
-		Metrics:   snap.metrics,
+		ID:              j.id,
+		K:               res.K,
+		Objects:         objects,
+		Gamma:           res.Gamma,
+		Objective:       res.Objective,
+		PseudoLL:        res.PseudoLL,
+		EMIterations:    res.EMIterations,
+		OuterIterations: res.OuterIterations,
+		Metrics:         snap.metrics,
 	})
 }
 

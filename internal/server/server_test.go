@@ -1,7 +1,9 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -536,4 +538,249 @@ func TestHealthz(t *testing.T) {
 	if resp.Status != "ok" || resp.Workers != 3 {
 		t.Fatalf("healthz payload: %+v", resp)
 	}
+}
+
+// readSSE consumes the events stream of a job until the final "state"
+// event (terminal) or the stream ends, returning the event names in order
+// and the last state payload seen.
+func readSSE(t *testing.T, body io.Reader) (names []string, lastState jobResponse, progressSeen int) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	var evType, data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event:"):
+			evType = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		case line == "":
+			if evType == "" {
+				continue
+			}
+			names = append(names, evType)
+			switch evType {
+			case "state":
+				if err := json.Unmarshal([]byte(data), &lastState); err != nil {
+					t.Fatalf("bad state event %q: %v", data, err)
+				}
+			case "progress":
+				progressSeen++
+			}
+			evType, data = "", ""
+		}
+	}
+	return names, lastState, progressSeen
+}
+
+// TestJobEventsStream subscribes to a job's SSE stream and requires the
+// documented shape: an initial state event, at least one progress event,
+// and a final terminal state event after which the stream closes.
+func TestJobEventsStream(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	network, _ := testNetworkJSON(t, 30, 21)
+	netID := uploadNetwork(t, ts, network)
+
+	// Park a blocker on the single worker so the real job stays queued
+	// until the stream is attached — that guarantees the subscription
+	// observes live progress instead of racing a fast fit.
+	blockOuter, blockEM, one := 1_000_000, 50, 1
+	blocker := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: &jobOptions{
+		OuterIters: &blockOuter, EMIters: &blockEM, InitSeeds: &one,
+	}})
+	waitForState(t, ts, blocker, jobRunning)
+
+	jobID := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: quickOpts(3, 1)})
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + jobID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doReq(t, ts.Client(), http.MethodDelete, ts.URL+"/v1/jobs/"+blocker, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+	names, last, progress := readSSE(t, resp.Body)
+	if len(names) < 2 || names[0] != "state" || names[len(names)-1] != "state" {
+		t.Fatalf("event sequence %v, want state ... state", names)
+	}
+	if progress == 0 {
+		t.Error("no progress events on a multi-iteration fit")
+	}
+	if last.State != jobDone {
+		t.Fatalf("final state event reports %q, want done", last.State)
+	}
+	if last.Progress == nil || last.Progress.Outer == 0 {
+		t.Errorf("final state carries no progress: %+v", last.Progress)
+	}
+
+	// Subscribing to an already-finished job yields the terminal state
+	// immediately and closes.
+	resp2, err := ts.Client().Get(ts.URL + "/v1/jobs/" + jobID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	names2, last2, _ := readSSE(t, resp2.Body)
+	if len(names2) == 0 || last2.State != jobDone {
+		t.Fatalf("finished-job stream: events %v, state %q", names2, last2.State)
+	}
+
+	if code, _ := doReq(t, ts.Client(), http.MethodGet, ts.URL+"/v1/jobs/job_missing/events", nil); code != http.StatusNotFound {
+		t.Fatalf("events of unknown job: status %d, want 404", code)
+	}
+}
+
+// TestJobEventsClientDisconnect verifies the SSE handler exits when the
+// client walks away mid-fit — no goroutine may outlive the subscription
+// (same leak-check pattern as TestCancelMidFit).
+func TestJobEventsClientDisconnect(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	network, _ := testNetworkJSON(t, 400, 22)
+	netID := uploadNetwork(t, ts, network)
+
+	ts.Client().CloseIdleConnections()
+	baseline := runtime.NumGoroutine()
+
+	outer, em, par, initSeeds := 1_000_000, 50, 1, 1
+	jobID := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: &jobOptions{
+		OuterIters: &outer, EMIters: &em, Parallelism: &par, InitSeeds: &initSeeds,
+	}})
+	waitForState(t, ts, jobID, jobRunning)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the first event so the stream is demonstrably live, then hang up.
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("read first byte of stream: %v", err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// Cancel the job; afterwards every goroutine the stream and fit spawned
+	// must exit even though the subscriber vanished first.
+	doReq(t, ts.Client(), http.MethodDelete, ts.URL+"/v1/jobs/"+jobID, nil)
+	waitForState(t, ts, jobID, jobCancelled)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ts.Client().CloseIdleConnections()
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			stack := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after stream disconnect: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), stack[:runtime.Stack(stack, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestWarmStartFromJob chains two jobs: the second warm-starts from the
+// first and must finish with identical clusters in far fewer EM iterations.
+func TestWarmStartFromJob(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	network, _ := testNetworkJSON(t, 30, 23)
+	netID := uploadNetwork(t, ts, network)
+
+	outer, em := 20, 30
+	emTol, outerTol := 1e-9, 1e-9
+	var seed int64 = 7
+	coldID := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: &jobOptions{
+		OuterIters: &outer, EMIters: &em, EMTol: &emTol, OuterTol: &outerTol, Seed: &seed,
+	}})
+	waitForState(t, ts, coldID, jobDone)
+	cold := fetchResult(t, ts, coldID)
+
+	warmID := submitJob(t, ts, jobRequest{NetworkID: netID, WarmStartFrom: coldID})
+	waitForState(t, ts, warmID, jobDone)
+	warm := fetchResult(t, ts, warmID)
+
+	if warm.K != cold.K {
+		t.Fatalf("warm job K=%d, cold K=%d", warm.K, cold.K)
+	}
+	if warm.EMIterations > 2 {
+		t.Errorf("warm-started job ran %d EM iterations, want ≤ 2 (cold ran %d)", warm.EMIterations, cold.EMIterations)
+	}
+	for v := range cold.Objects {
+		if warm.Objects[v].Cluster != cold.Objects[v].Cluster {
+			t.Fatalf("object %s relabeled by warm start", cold.Objects[v].ID)
+		}
+	}
+
+	// Error surface: unknown source job, unfinished source job, K mismatch.
+	payload, _ := json.Marshal(jobRequest{NetworkID: netID, WarmStartFrom: "job_missing"})
+	if code, _ := doReq(t, ts.Client(), http.MethodPost, ts.URL+"/v1/jobs", payload); code != http.StatusNotFound {
+		t.Fatalf("warm start from unknown job: status %d, want 404", code)
+	}
+	payload, _ = json.Marshal(jobRequest{NetworkID: netID, K: 3, WarmStartFrom: coldID})
+	if code, _ := doReq(t, ts.Client(), http.MethodPost, ts.URL+"/v1/jobs", payload); code != http.StatusBadRequest {
+		t.Fatalf("warm start with mismatched K: status %d, want 400", code)
+	}
+
+	slow := 1_000_000
+	one := 1
+	runningID := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: &jobOptions{
+		OuterIters: &slow, EMIters: &em, InitSeeds: &one,
+	}})
+	waitForState(t, ts, runningID, jobRunning)
+	payload, _ = json.Marshal(jobRequest{NetworkID: netID, WarmStartFrom: runningID})
+	if code, _ := doReq(t, ts.Client(), http.MethodPost, ts.URL+"/v1/jobs", payload); code != http.StatusConflict {
+		t.Fatalf("warm start from running job: status %d, want 409", code)
+	}
+	doReq(t, ts.Client(), http.MethodDelete, ts.URL+"/v1/jobs/"+runningID, nil)
+	waitForState(t, ts, runningID, jobCancelled)
+}
+
+// TestDrainStreamsEndsLiveStream: a graceful shutdown must not be held
+// open by an attached events consumer — DrainStreams (wired to
+// http.Server.RegisterOnShutdown by cmd/genclusd) ends the stream even
+// while the job is still running.
+func TestDrainStreamsEndsLiveStream(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1})
+	network, _ := testNetworkJSON(t, 400, 24)
+	netID := uploadNetwork(t, ts, network)
+
+	outer, em, one := 1_000_000, 50, 1
+	jobID := submitJob(t, ts, jobRequest{NetworkID: netID, K: 2, Options: &jobOptions{
+		OuterIters: &outer, EMIters: &em, InitSeeds: &one,
+	}})
+	waitForState(t, ts, jobID, jobRunning)
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + jobID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("stream not live: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(io.Discard, resp.Body)
+		done <- err
+	}()
+	s.DrainStreams()
+	select {
+	case <-done: // EOF (or benign close error): the stream ended
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream still open 10s after DrainStreams")
+	}
+
+	doReq(t, ts.Client(), http.MethodDelete, ts.URL+"/v1/jobs/"+jobID, nil)
+	waitForState(t, ts, jobID, jobCancelled)
 }
