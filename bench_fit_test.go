@@ -1,24 +1,67 @@
-// The cold-fit vs warm-refit benchmark harness. BenchmarkFitRefit is the
-// committed perf baseline: an unfiltered run (any -benchtime) rewrites
-// BENCH_fit.json at the repo root, so the file tracks the code and future
-// PRs have a trajectory to compare against. CI runs it with -benchtime=1x
-// as a smoke pass and uploads the JSON as an artifact.
+// The fit-performance benchmark harness. BenchmarkFitRefit (cold fit vs
+// warm refit) and BenchmarkEMIteration (one steady-state E+M pass over the
+// CSR link storage) are the committed perf baselines: an unfiltered run
+// (any -benchtime) rewrites its own entries in BENCH_fit.json at the repo
+// root, so the file tracks the code and future PRs have a trajectory to
+// compare against. CI runs both with -benchtime=1x as a smoke pass and
+// uploads the JSON as an artifact. Regenerate everything with
+//
+//	go test -run=xxx -bench='BenchmarkFitRefit|BenchmarkEMIteration' .
 package genclus_test
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 
 	"genclus"
+	"genclus/internal/bench"
 )
 
-// benchFitEntry is one scenario×mode measurement in BENCH_fit.json.
+// benchFitEntry is one measurement in BENCH_fit.json.
 type benchFitEntry struct {
-	NsPerOp      int64 `json:"ns_per_op"`
-	Iterations   int   `json:"benchmark_iterations"`
-	EMIterations int   `json:"em_iterations"` // EM work of one fit — the hardware-independent number
+	NsPerOp      int64  `json:"ns_per_op"`
+	Iterations   int    `json:"benchmark_iterations"`
+	EMIterations int    `json:"em_iterations,omitempty"` // EM work of one fit — the hardware-independent number
+	AllocsPerOp  *int64 `json:"allocs_per_op,omitempty"` // set by the EM-iteration benchmark (0 is the contract)
+}
+
+// mergeBenchFile folds entries into BENCH_fit.json (or GENCLUS_BENCH_OUT),
+// keeping the keys owned by other benchmarks intact so BenchmarkFitRefit
+// and BenchmarkEMIteration can run in either order — or alone — without
+// clobbering each other's committed numbers. owned declares which existing
+// keys belong to the calling benchmark: they are dropped before the merge,
+// so a renamed or removed scenario cannot leave a stale orphan behind.
+func mergeBenchFile(b *testing.B, owned func(key string) bool, entries map[string]benchFitEntry) {
+	path := os.Getenv("GENCLUS_BENCH_OUT")
+	if path == "" {
+		path = "BENCH_fit.json"
+	}
+	out := make(map[string]benchFitEntry)
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &out); err != nil {
+			b.Logf("ignoring unparsable %s: %v", path, err)
+			out = make(map[string]benchFitEntry)
+		}
+	}
+	for k := range out {
+		if owned(k) {
+			delete(out, k)
+		}
+	}
+	for k, v := range entries {
+		out[k] = v
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("write %s: %v", path, err)
+	}
+	b.Logf("wrote %s", path)
 }
 
 // benchFitScenario pairs the network a model is first fitted on (base) with
@@ -157,16 +200,40 @@ func BenchmarkFitRefit(b *testing.B) {
 		b.Logf("skipping BENCH_fit.json write: %d of %d sub-benchmarks ran (filtered run)", len(out), 2*len(scenarios))
 		return
 	}
-	path := os.Getenv("GENCLUS_BENCH_OUT")
-	if path == "" {
-		path = "BENCH_fit.json"
-	}
-	data, err := json.MarshalIndent(out, "", "  ")
+	// This benchmark owns the "<scenario>/cold" and "<scenario>/refit"
+	// key family — matched by shape rather than by the current scenario
+	// list, so a renamed scenario's old keys are still cleaned up, while
+	// key families owned by other benchmarks survive untouched.
+	mergeBenchFile(b, func(key string) bool {
+		return !strings.HasPrefix(key, "em-iteration/") &&
+			(strings.HasSuffix(key, "/cold") || strings.HasSuffix(key, "/refit"))
+	}, out)
+}
+
+// BenchmarkEMIteration measures one steady-state E+M pass of the EM hot
+// path on the mid-size synthetic network (4000 objects, ~24k links, two
+// relations, K=4) — the number the CSR link storage and the preallocated
+// scratch exist to improve. Allocations are the headline: the steady state
+// must stay at 0 allocs/op (TestEMIterationSteadyStateZeroAlloc enforces
+// the same invariant as a test). The measurement lands in BENCH_fit.json
+// under "em-iteration/midsize".
+func BenchmarkEMIteration(b *testing.B) {
+	eb, err := bench.NewEMIterationBench()
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		b.Fatalf("write %s: %v", path, err)
+	allocs := int64(testing.AllocsPerRun(5, eb.RunIteration))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eb.RunIteration()
 	}
-	b.Logf("wrote %s", path)
+	b.StopTimer()
+	nsPerOp := int64(0)
+	if b.N > 0 {
+		nsPerOp = b.Elapsed().Nanoseconds() / int64(b.N)
+	}
+	mergeBenchFile(b, func(key string) bool { return strings.HasPrefix(key, "em-iteration/") }, map[string]benchFitEntry{
+		"em-iteration/midsize": {NsPerOp: nsPerOp, Iterations: b.N, AllocsPerOp: &allocs},
+	})
 }

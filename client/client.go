@@ -79,10 +79,11 @@ func New(baseURL string, opts ...Option) *Client {
 // APIError is a non-2xx response from the service, carrying the HTTP status
 // and the server's error message.
 type APIError struct {
-	StatusCode int
-	Message    string
+	StatusCode int    // HTTP status the service answered with
+	Message    string // server-side error description
 }
 
+// Error implements the error interface.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("genclusd: %d: %s", e.StatusCode, e.Message)
 }
@@ -113,30 +114,30 @@ func (s JobState) Terminal() bool {
 
 // NetworkInfo describes an uploaded network.
 type NetworkInfo struct {
-	ID         string   `json:"id"`
-	Objects    int      `json:"objects"`
-	Links      int      `json:"links"`
-	Relations  []string `json:"relations"`
-	Attributes []string `json:"attributes"`
+	ID         string   `json:"id"`         // server-side network id for job submissions
+	Objects    int      `json:"objects"`    // |V|
+	Links      int      `json:"links"`      // |E|
+	Relations  []string `json:"relations"`  // relation names in dense-id order
+	Attributes []string `json:"attributes"` // declared attribute names
 }
 
 // JobOptions overlays the paper-default fit options; nil fields keep the
 // defaults. It mirrors the service's options object field for field.
 type JobOptions struct {
-	Attributes           []string `json:"attributes,omitempty"`
-	OuterIters           *int     `json:"outer_iters,omitempty"`
-	EMIters              *int     `json:"em_iters,omitempty"`
-	EMTol                *float64 `json:"em_tol,omitempty"`
-	OuterTol             *float64 `json:"outer_tol,omitempty"`
-	NewtonIters          *int     `json:"newton_iters,omitempty"`
-	PriorSigma           *float64 `json:"prior_sigma,omitempty"`
-	Seed                 *int64   `json:"seed,omitempty"`
-	InitSeeds            *int     `json:"init_seeds,omitempty"`
-	InitSeedSteps        *int     `json:"init_seed_steps,omitempty"`
-	Parallelism          *int     `json:"parallelism,omitempty"`
-	LearnGamma           *bool    `json:"learn_gamma,omitempty"`
-	InitialGamma         *float64 `json:"initial_gamma,omitempty"`
-	SymmetricPropagation *bool    `json:"symmetric_propagation,omitempty"`
+	Attributes           []string `json:"attributes,omitempty"`            // attribute subset defining the clustering purpose (empty = all)
+	OuterIters           *int     `json:"outer_iters,omitempty"`           // outer alternations between EM and strength learning
+	EMIters              *int     `json:"em_iters,omitempty"`              // EM iterations per cluster-optimization step
+	EMTol                *float64 `json:"em_tol,omitempty"`                // early-stop threshold on max |ΔΘ|
+	OuterTol             *float64 `json:"outer_tol,omitempty"`             // early-stop threshold on max |Δγ|
+	NewtonIters          *int     `json:"newton_iters,omitempty"`          // Newton iterations per strength-learning step
+	PriorSigma           *float64 `json:"prior_sigma,omitempty"`           // σ of the Gaussian prior on γ
+	Seed                 *int64   `json:"seed,omitempty"`                  // RNG seed; same seed ⇒ bitwise identical fit
+	InitSeeds            *int     `json:"init_seeds,omitempty"`            // best-of-seeds restarts (>1 enables seeding)
+	InitSeedSteps        *int     `json:"init_seed_steps,omitempty"`       // EM steps per candidate seed
+	Parallelism          *int     `json:"parallelism,omitempty"`           // EM worker count (does not change results)
+	LearnGamma           *bool    `json:"learn_gamma,omitempty"`           // false freezes γ at the initial vector
+	InitialGamma         *float64 `json:"initial_gamma,omitempty"`         // uniform starting strength (0 means 1)
+	SymmetricPropagation *bool    `json:"symmetric_propagation,omitempty"` // propagate along in-links too (ablation)
 }
 
 // JobSpec is a fit submission. K is required unless WarmStartFrom names a
@@ -144,60 +145,60 @@ type JobOptions struct {
 // Truth maps object IDs to ground-truth labels and enables NMI/ARI/purity
 // on the result.
 type JobSpec struct {
-	NetworkID     string         `json:"network_id"`
-	K             int            `json:"k"`
-	Options       *JobOptions    `json:"options,omitempty"`
-	Truth         map[string]int `json:"truth,omitempty"`
-	WarmStartFrom string         `json:"warm_start_from,omitempty"`
+	NetworkID     string         `json:"network_id"`                // id from UploadNetwork
+	K             int            `json:"k"`                         // number of clusters
+	Options       *JobOptions    `json:"options,omitempty"`         // nil keeps every default
+	Truth         map[string]int `json:"truth,omitempty"`           // object id → ground-truth label
+	WarmStartFrom string         `json:"warm_start_from,omitempty"` // finished job id to warm-start from
 }
 
 // Progress is a fit progress report: completed outer iterations out of the
 // configured budget (the fit may stop earlier on convergence).
 type Progress struct {
-	Outer      int `json:"outer"`
-	OuterTotal int `json:"outer_total"`
+	Outer      int `json:"outer"`       // completed outer iterations (0 = initialized)
+	OuterTotal int `json:"outer_total"` // configured outer-iteration budget
 }
 
 // Job is a job's status.
 type Job struct {
-	ID        string    `json:"id"`
-	NetworkID string    `json:"network_id"`
-	State     JobState  `json:"state"`
-	Progress  *Progress `json:"progress,omitempty"`
-	Error     string    `json:"error,omitempty"`
-	Created   string    `json:"created"`
-	Started   string    `json:"started,omitempty"`
-	Finished  string    `json:"finished,omitempty"`
+	ID        string    `json:"id"`                 // job id
+	NetworkID string    `json:"network_id"`         // network the job fits
+	State     JobState  `json:"state"`              // lifecycle state
+	Progress  *Progress `json:"progress,omitempty"` // latest progress report, if any
+	Error     string    `json:"error,omitempty"`    // failure reason (state "failed" only)
+	Created   string    `json:"created"`            // RFC 3339 submission time
+	Started   string    `json:"started,omitempty"`  // RFC 3339 fit start time
+	Finished  string    `json:"finished,omitempty"` // RFC 3339 terminal time
 }
 
 // ObjectResult is one clustered object: its hard assignment and soft
 // membership row.
 type ObjectResult struct {
-	ID      string    `json:"id"`
-	Type    string    `json:"type"`
-	Cluster int       `json:"cluster"`
-	Theta   []float64 `json:"theta"`
+	ID      string    `json:"id"`      // object id from the uploaded network
+	Type    string    `json:"type"`    // object type (τ)
+	Cluster int       `json:"cluster"` // argmax hard assignment
+	Theta   []float64 `json:"theta"`   // soft membership row (sums to 1)
 }
 
 // Metrics are the eval scores against submitted ground truth.
 type Metrics struct {
-	NMI     float64 `json:"nmi"`
-	ARI     float64 `json:"ari"`
-	Purity  float64 `json:"purity"`
-	Labeled int     `json:"labeled_objects"`
+	NMI     float64 `json:"nmi"`             // normalized mutual information
+	ARI     float64 `json:"ari"`             // adjusted Rand index
+	Purity  float64 `json:"purity"`          // majority-class purity
+	Labeled int     `json:"labeled_objects"` // objects the truth map covered
 }
 
 // Result is a finished job's fitted model.
 type Result struct {
-	ID              string             `json:"id"`
-	K               int                `json:"k"`
-	Objects         []ObjectResult     `json:"objects"`
-	Gamma           map[string]float64 `json:"gamma"`
-	Objective       float64            `json:"objective"`
-	PseudoLL        float64            `json:"pseudo_ll"`
-	EMIterations    int                `json:"em_iterations"`
-	OuterIterations int                `json:"outer_iterations"`
-	Metrics         *Metrics           `json:"metrics,omitempty"`
+	ID              string             `json:"id"`                // job id
+	K               int                `json:"k"`                 // number of clusters
+	Objects         []ObjectResult     `json:"objects"`           // per-object assignments and memberships
+	Gamma           map[string]float64 `json:"gamma"`             // relation name → learned strength γ(r)
+	Objective       float64            `json:"objective"`         // final g₁ (Eq. 9)
+	PseudoLL        float64            `json:"pseudo_ll"`         // final g′₂ (Eq. 14)
+	EMIterations    int                `json:"em_iterations"`     // total EM iterations executed
+	OuterIterations int                `json:"outer_iterations"`  // outer alternations actually run
+	Metrics         *Metrics           `json:"metrics,omitempty"` // eval vs submitted truth, if any
 }
 
 // Model rebuilds a local genclus.Model from the fetched result, so a fit
@@ -227,11 +228,11 @@ func (r *Result) Model() (*genclus.Model, error) {
 
 // Health is the service's liveness report.
 type Health struct {
-	Status        string         `json:"status"`
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Workers       int            `json:"workers"`
-	Networks      int            `json:"networks"`
-	Jobs          map[string]int `json:"jobs"`
+	Status        string         `json:"status"`         // "ok" while serving
+	UptimeSeconds float64        `json:"uptime_seconds"` // seconds since start
+	Workers       int            `json:"workers"`        // fit worker pool size
+	Networks      int            `json:"networks"`       // stored (non-evicted) networks
+	Jobs          map[string]int `json:"jobs"`           // job count per state
 }
 
 // UploadNetwork serializes and uploads a network, returning its server-side
@@ -314,11 +315,12 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 
 // JobError reports a job that reached a terminal state other than done.
 type JobError struct {
-	JobID   string
-	State   JobState
-	Message string
+	JobID   string   // the job that terminated
+	State   JobState // its terminal state (failed or cancelled)
+	Message string   // server-side failure reason, if any
 }
 
+// Error implements the error interface.
 func (e *JobError) Error() string {
 	return fmt.Sprintf("genclusd: job %s %s: %s", e.JobID, e.State, e.Message)
 }

@@ -16,9 +16,9 @@ import (
 // (first event on connect, last event at terminal), "progress" events carry
 // a fit progress report.
 type Event struct {
-	Type     string
-	Job      *Job
-	Progress *Progress
+	Type     string    // SSE event name: "state" or "progress"
+	Job      *Job      // set for "state" events
+	Progress *Progress // set for "progress" events
 }
 
 // ErrStopStreaming, returned from a StreamEvents callback, ends the stream

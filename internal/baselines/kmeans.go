@@ -249,8 +249,9 @@ func InterpolateNumeric(net *hin.Network, attrNames []string) ([][]float64, erro
 				for _, e := range net.OutEdges(v) {
 					add(e.To)
 				}
-				for _, ei := range net.InEdgeIndices(v) {
-					add(net.Edges()[ei].From)
+				from, _, _ := net.InLinks(v)
+				for _, u := range from {
+					add(u)
 				}
 			}
 			if count > 0 {

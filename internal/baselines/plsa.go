@@ -182,12 +182,13 @@ func neighborAverage(net *hin.Network, theta [][]float64, v int, out []float64) 
 		}
 		wSum += e.Weight
 	}
-	for _, ei := range net.InEdgeIndices(v) {
-		e := net.Edges()[ei]
+	from, _, weights := net.InLinks(v)
+	for j, u := range from {
+		w := weights[j]
 		for i := range out {
-			out[i] += e.Weight * theta[e.From][i]
+			out[i] += w * theta[u][i]
 		}
-		wSum += e.Weight
+		wSum += w
 	}
 	if wSum == 0 {
 		return false

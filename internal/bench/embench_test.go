@@ -1,0 +1,23 @@
+package bench
+
+import "testing"
+
+// TestEMIterationSteadyStateZeroAlloc pins the tentpole guarantee of the
+// CSR refactor: once the per-chunk accumulators and Θ snapshot buffers are
+// warmed up, a serial EM iteration allocates nothing — every piece of
+// scratch lives in the state and is reused across iterations. A regression
+// here means someone reintroduced per-iteration allocation into the hot
+// path (BenchmarkEMIteration in bench_fit_test.go reports the same number
+// as allocs/op).
+func TestEMIterationSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation breaks exact allocation accounting")
+	}
+	eb, err := NewEMIterationBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(5, eb.RunIteration); allocs != 0 {
+		t.Fatalf("steady-state EM iteration allocates %v times per run, want 0", allocs)
+	}
+}

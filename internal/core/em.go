@@ -7,53 +7,89 @@ import (
 	"genclus/internal/hin"
 )
 
-// emAccum collects the per-worker sufficient statistics of one EM iteration.
+// emAccum collects the per-chunk sufficient statistics of one EM iteration,
+// plus the chunk-local E-step scratch. One accumulator per reduction chunk
+// is allocated lazily on the first iteration and reused (zeroed) on every
+// subsequent one, so the steady-state EM loop performs no allocation.
 type emAccum struct {
-	// catStat[a][k][l] = Σ_v c_{v,l} p(z_{v,l} = k) for categorical attr a.
-	catStat map[int][][]float64
-	// Gaussian accumulators: weight, weighted x, weighted x².
-	gaussW, gaussWX, gaussWX2 map[int][]float64
+	// cat[a] is the flat accumulator of categorical attribute a in
+	// term-major layout: cat[a][l*K+k] = Σ_v c_{v,l} p(z_{v,l} = k). Nil for
+	// numeric or out-of-play attributes.
+	cat [][]float64
+	// Gaussian accumulators by attribute id (weight, weighted x, weighted
+	// x²), each of length K. Nil for categorical or out-of-play attributes.
+	gaussW, gaussWX, gaussWX2 [][]float64
+
+	// E-step scratch local to the goroutine running this chunk. rows is the
+	// chunk's flat newRow matrix (emChunkSize×K): the E-step accumulates
+	// every object's unnormalized Θ_t row in it across the link and
+	// attribute passes, then normalizes in a final pass.
+	rows              []float64
+	resp, logs, logTh []float64
 }
 
 func (s *state) newAccum() *emAccum {
+	k := s.opts.K
+	nAttr := s.net.NumAttrs()
 	acc := &emAccum{
-		catStat:  make(map[int][][]float64),
-		gaussW:   make(map[int][]float64),
-		gaussWX:  make(map[int][]float64),
-		gaussWX2: make(map[int][]float64),
+		cat:      make([][]float64, nAttr),
+		gaussW:   make([][]float64, nAttr),
+		gaussWX:  make([][]float64, nAttr),
+		gaussWX2: make([][]float64, nAttr),
+		rows:     make([]float64, emChunkSize*k),
+		resp:     make([]float64, k),
+		logs:     make([]float64, k),
+		logTh:    make([]float64, k),
 	}
 	for _, a := range s.attrs {
 		spec := s.net.Attr(a)
 		switch spec.Kind {
 		case hin.Categorical:
-			m := make([][]float64, s.opts.K)
-			for k := range m {
-				m[k] = make([]float64, spec.VocabSize)
-			}
-			acc.catStat[a] = m
+			acc.cat[a] = make([]float64, spec.VocabSize*k)
 		case hin.Numeric:
-			acc.gaussW[a] = make([]float64, s.opts.K)
-			acc.gaussWX[a] = make([]float64, s.opts.K)
-			acc.gaussWX2[a] = make([]float64, s.opts.K)
+			acc.gaussW[a] = make([]float64, k)
+			acc.gaussWX[a] = make([]float64, k)
+			acc.gaussWX2[a] = make([]float64, k)
 		}
 	}
 	return acc
 }
 
+// reset zeroes the sufficient statistics for reuse in the next iteration.
+func (acc *emAccum) reset() {
+	for _, m := range acc.cat {
+		clear(m)
+	}
+	for _, w := range acc.gaussW {
+		clear(w)
+	}
+	for _, w := range acc.gaussWX {
+		clear(w)
+	}
+	for _, w := range acc.gaussWX2 {
+		clear(w)
+	}
+}
+
 func (acc *emAccum) merge(other *emAccum) {
-	for a, m := range other.catStat {
-		dst := acc.catStat[a]
-		for k := range m {
-			for l, v := range m[k] {
-				dst[k][l] += v
-			}
+	for a, dst := range acc.cat {
+		if dst == nil {
+			continue
+		}
+		for i, x := range other.cat[a] {
+			dst[i] += x
 		}
 	}
-	for a, w := range other.gaussW {
-		for k := range w {
-			acc.gaussW[a][k] += w[k]
-			acc.gaussWX[a][k] += other.gaussWX[a][k]
-			acc.gaussWX2[a][k] += other.gaussWX2[a][k]
+	for a, w := range acc.gaussW {
+		if w == nil {
+			continue
+		}
+		ow, owx, owx2 := other.gaussW[a], other.gaussWX[a], other.gaussWX2[a]
+		wx, wx2 := acc.gaussWX[a], acc.gaussWX2[a]
+		for c := range w {
+			w[c] += ow[c]
+			wx[c] += owx[c]
+			wx2[c] += owx2[c]
 		}
 	}
 }
@@ -65,6 +101,47 @@ func (acc *emAccum) merge(other *emAccum) {
 // only decides how many chunks run at once, never the shape of the floating
 // point summation tree — so a fit is bitwise identical for any Parallelism.
 const emChunkSize = 512
+
+// ensureEMScratch lazily allocates the per-chunk accumulators. The chunk
+// count is a pure function of the (immutable) object count, so the scratch
+// is sized exactly once per state.
+func (s *state) ensureEMScratch(chunks int) {
+	if s.accums != nil {
+		return
+	}
+	s.accums = make([]*emAccum, chunks)
+	for c := range s.accums {
+		s.accums[c] = s.newAccum()
+	}
+}
+
+// refreshModelScratch rebuilds the derived read-only views of the attribute
+// models the E-step consumes: the term-major transpose of every categorical
+// β (so responsibilities read K contiguous floats per term instead of
+// striding across K rows) and the per-component 0.5·ln σ² constants of every
+// Gaussian. Values are copied bit-for-bit from the canonical parameters, so
+// the arithmetic of the E-step is unchanged.
+func (s *state) refreshModelScratch() {
+	k := s.opts.K
+	for _, a := range s.attrs {
+		switch s.kind[a] {
+		case hin.Categorical:
+			beta := s.cat[a].Beta
+			bt := s.catT[a]
+			for i := 0; i < k; i++ {
+				for l, x := range beta[i] {
+					bt[l*k+i] = x
+				}
+			}
+		case hin.Numeric:
+			vr := s.gauss[a].Var
+			hlv := s.halfLogVar[a]
+			for i := 0; i < k; i++ {
+				hlv[i] = 0.5 * math.Log(vr[i])
+			}
+		}
+	}
+}
 
 // emIteration performs one E+M pass: responsibilities under (Θ_{t−1}, β_{t−1}),
 // then the simultaneous Θ and β updates of Eqs. 10–12 (generalized to any
@@ -84,12 +161,17 @@ func (s *state) emIteration(thetaOld [][]float64) {
 		workers = chunks
 	}
 
-	accums := make([]*emAccum, chunks)
+	s.ensureEMScratch(chunks)
+	s.refreshModelScratch()
+	for _, acc := range s.accums {
+		acc.reset()
+	}
+
 	if workers == 1 {
 		// Serial path still accumulates per chunk so its summation tree
 		// matches the parallel path exactly.
 		for c := 0; c < chunks; c++ {
-			accums[c] = s.emChunk(thetaOld, c, n)
+			s.emChunk(thetaOld, c, n)
 		}
 	} else {
 		next := make(chan int)
@@ -99,7 +181,7 @@ func (s *state) emIteration(thetaOld [][]float64) {
 			go func() {
 				defer wg.Done()
 				for c := range next {
-					accums[c] = s.emChunk(thetaOld, c, n)
+					s.emChunk(thetaOld, c, n)
 				}
 			}()
 		}
@@ -110,95 +192,153 @@ func (s *state) emIteration(thetaOld [][]float64) {
 		wg.Wait()
 	}
 
-	total := accums[0]
-	for _, acc := range accums[1:] {
+	total := s.accums[0]
+	for _, acc := range s.accums[1:] {
 		total.merge(acc)
 	}
 	s.mStepModels(total)
 }
 
-// emChunk runs emRange over chunk c of the object range.
-func (s *state) emChunk(thetaOld [][]float64, c, n int) *emAccum {
+// emChunk runs emRange over chunk c of the object range, accumulating into
+// the chunk's dedicated emAccum.
+func (s *state) emChunk(thetaOld [][]float64, c, n int) {
 	lo := c * emChunkSize
 	hi := lo + emChunkSize
 	if hi > n {
 		hi = n
 	}
-	acc := s.newAccum()
-	s.emRange(thetaOld, lo, hi, acc)
-	return acc
+	s.emRange(thetaOld, lo, hi, s.accums[c])
 }
 
 // emRange runs the E-step and Θ update for objects in [lo, hi), accumulating
 // β sufficient statistics into acc. Θ rows in the range are written in
 // place; all reads go through thetaOld, so ranges can run concurrently.
+//
+// The work is organized as chunk-wide passes — one per relation over the
+// CSR rows, one per attribute, then a normalization pass — with every
+// object's unnormalized row accumulating in acc.rows. Each Θ_t entry still
+// receives its contributions in exactly the pre-CSR order (out-links
+// relation-major with ascending targets, then in-links in edge order, then
+// attributes in declaration order), so the floating-point summation tree —
+// and therefore the fit — is bitwise unchanged; the passes only hoist model
+// pointers out of the object loop and walk each CSR sequentially.
 func (s *state) emRange(thetaOld [][]float64, lo, hi int, acc *emAccum) {
+	// K-sized buffers are resliced to [:k:k] so the compiler can prove the
+	// inner loops in-bounds and drop the checks.
 	k := s.opts.K
-	newRow := make([]float64, k)
-	resp := make([]float64, k)
-	logs := make([]float64, k)
+	nv := hi - lo
+	rows := acc.rows[: nv*k : nv*k]
+	clear(rows)
+	resp := acc.resp[:k:k]
+	logs := acc.logs[:k:k]
+	logTh := acc.logTh[:k:k]
+	gamma := s.gamma
 
-	for v := lo; v < hi; v++ {
-		for i := range newRow {
-			newRow[i] = 0
+	// Link passes: Σ_{e=<v,u>} γ(φ(e)) w(e) θ_{u,k}^{t−1}, one relation at
+	// a time.
+	for r := 0; r < s.nRel; r++ {
+		gr := gamma[r]
+		if gr == 0 {
+			continue
 		}
-		// Link term: Σ_{e=<v,u>} γ(φ(e)) w(e) θ_{u,k}^{t−1}.
-		for _, e := range s.net.OutEdges(v) {
-			g := s.gamma[e.Rel] * e.Weight
-			if g == 0 {
+		m := &s.outCSR[r]
+		for v := lo; v < hi; v++ {
+			rowLo, rowHi := m.Start[v], m.Start[v+1]
+			if rowLo == rowHi {
 				continue
 			}
-			tu := thetaOld[e.To]
-			for i := 0; i < k; i++ {
-				newRow[i] += g * tu[i]
-			}
-		}
-		if s.opts.SymmetricPropagation {
-			for _, ei := range s.net.InEdgeIndices(v) {
-				e := s.net.Edges()[ei]
-				g := s.gamma[e.Rel] * e.Weight
+			cols := m.Col[rowLo:rowHi]
+			wts := m.Weight[rowLo:rowHi]
+			nr := rows[(v-lo)*k : (v-lo)*k+k : (v-lo)*k+k]
+			for j, c := range cols {
+				g := gr * wts[j]
 				if g == 0 {
 					continue
 				}
-				tu := thetaOld[e.From]
-				for i := 0; i < k; i++ {
-					newRow[i] += g * tu[i]
+				tu := thetaOld[c][:k:k]
+				for i := range tu {
+					nr[i] += g * tu[i]
 				}
 			}
 		}
+	}
+	if s.opts.SymmetricPropagation {
+		// Merged in-link view in global edge order: matches the pre-CSR
+		// edge-index iteration bit for bit.
+		for v := lo; v < hi; v++ {
+			nr := rows[(v-lo)*k : (v-lo)*k+k : (v-lo)*k+k]
+			for j, end := s.inStart[v], s.inStart[v+1]; j < end; j++ {
+				g := gamma[s.inRel[j]] * s.inWeight[j]
+				if g == 0 {
+					continue
+				}
+				tu := thetaOld[s.inFrom[j]][:k:k]
+				for i := range tu {
+					nr[i] += g * tu[i]
+				}
+			}
+		}
+	}
 
-		// Attribute terms: 1{v∈V_X} Σ_obs p(z = k | obs).
-		thOld := thetaOld[v]
-		for _, a := range s.attrs {
-			switch s.net.Attr(a).Kind {
-			case hin.Categorical:
-				beta := s.cat[a].Beta
-				st := acc.catStat[a]
-				for _, tc := range s.net.TermCounts(a, v) {
+	// Attribute passes: 1{v∈V_X} Σ_obs p(z = k | obs), in attribute
+	// declaration order (the per-object accumulation order of the
+	// pre-pass-structured loop).
+	for _, a := range s.attrs {
+		switch s.kind[a] {
+		case hin.Categorical:
+			betaT := s.catT[a]
+			st := acc.cat[a]
+			terms := s.termRows[a]
+			for v := lo; v < hi; v++ {
+				tcs := terms[v]
+				if len(tcs) == 0 {
+					continue
+				}
+				thOld := thetaOld[v][:k:k]
+				nr := rows[(v-lo)*k : (v-lo)*k+k : (v-lo)*k+k]
+				for _, tc := range tcs {
+					base := tc.Term * k
+					bt := betaT[base : base+k : base+k]
 					var sum float64
-					for i := 0; i < k; i++ {
-						resp[i] = thOld[i] * beta[i][tc.Term]
+					for i := range bt {
+						resp[i] = thOld[i] * bt[i]
 						sum += resp[i]
 					}
 					if sum <= 0 {
 						continue // term impossible under every component
 					}
 					inv := tc.Count / sum
-					for i := 0; i < k; i++ {
+					stt := st[base : base+k : base+k]
+					for i := range stt {
 						r := resp[i] * inv
-						newRow[i] += r
-						st[i][tc.Term] += r
+						nr[i] += r
+						stt[i] += r
 					}
 				}
-			case hin.Numeric:
-				gp := s.gauss[a]
-				for _, x := range s.net.NumericObs(a, v) {
+			}
+		case hin.Numeric:
+			gp := s.gauss[a]
+			mu, vr, hlv := gp.Mu[:k:k], gp.Var[:k:k], s.halfLogVar[a][:k:k]
+			gw, gwx, gwx2 := acc.gaussW[a][:k:k], acc.gaussWX[a][:k:k], acc.gaussWX2[a][:k:k]
+			obs := s.numRows[a]
+			for v := lo; v < hi; v++ {
+				xs := obs[v]
+				if len(xs) == 0 {
+					continue
+				}
+				thOld := thetaOld[v][:k:k]
+				nr := rows[(v-lo)*k : (v-lo)*k+k : (v-lo)*k+k]
+				// ln θ_v is shared by every observation of v.
+				for i := range thOld {
+					logTh[i] = math.Log(thOld[i])
+				}
+				for _, x := range xs {
 					// Log-space responsibilities guard against distant
 					// observations underflowing every component.
 					maxLog := math.Inf(-1)
-					for i := 0; i < k; i++ {
-						d := x - gp.Mu[i]
-						logs[i] = math.Log(thOld[i]) - 0.5*d*d/gp.Var[i] - 0.5*math.Log(gp.Var[i])
+					for i := range logs {
+						d := x - mu[i]
+						logs[i] = logTh[i] - 0.5*d*d/vr[i] - hlv[i]
 						if logs[i] > maxLog {
 							maxLog = logs[i]
 						}
@@ -207,36 +347,40 @@ func (s *state) emRange(thetaOld [][]float64, lo, hi int, acc *emAccum) {
 						continue
 					}
 					var sum float64
-					for i := 0; i < k; i++ {
+					for i := range logs {
 						resp[i] = math.Exp(logs[i] - maxLog)
 						sum += resp[i]
 					}
-					for i := 0; i < k; i++ {
+					for i := range resp {
 						r := resp[i] / sum
-						newRow[i] += r
-						acc.gaussW[a][i] += r
-						acc.gaussWX[a][i] += r * x
-						acc.gaussWX2[a][i] += r * x * x
+						nr[i] += r
+						gw[i] += r
+						gwx[i] += r * x
+						gwx2[i] += r * x * x
 					}
 				}
 			}
 		}
+	}
 
-		// Normalize into Θ_t. An object with no out-links and no
-		// observations receives no information this round: keep its row.
+	// Normalization pass into Θ_t. An object with no out-links and no
+	// observations receives no information this round: keep its row.
+	eps := s.opts.Epsilon
+	for v := lo; v < hi; v++ {
+		nr := rows[(v-lo)*k : (v-lo)*k+k : (v-lo)*k+k]
 		var mass float64
-		for _, x := range newRow {
+		for _, x := range nr {
 			mass += x
 		}
-		dst := s.theta[v]
+		dst := s.theta[v][:k:k]
 		if mass <= 0 || math.IsNaN(mass) || math.IsInf(mass, 0) {
-			copy(dst, thOld)
+			copy(dst, thetaOld[v])
 			continue
 		}
-		for i := 0; i < k; i++ {
-			x := newRow[i] / mass
-			if x < s.opts.Epsilon || math.IsNaN(x) {
-				x = s.opts.Epsilon
+		for i := range dst {
+			x := nr[i] / mass
+			if x < eps || math.IsNaN(x) {
+				x = eps
 			}
 			dst[i] = x
 		}
@@ -254,38 +398,66 @@ func (s *state) emRange(thetaOld [][]float64, lo, hi int, acc *emAccum) {
 // mStepModels applies the β updates from the accumulated sufficient
 // statistics (Eq. 10 for categorical, Eqs. 11–12 for Gaussians).
 func (s *state) mStepModels(acc *emAccum) {
-	for a, st := range acc.catStat {
-		beta := s.cat[a].Beta
-		vocab := len(beta[0])
-		eta := s.opts.SmoothEta
-		for k := range beta {
-			var sum float64
-			for l := 0; l < vocab; l++ {
-				sum += st[k][l] + eta
+	k := s.opts.K
+	for _, a := range s.attrs {
+		switch s.kind[a] {
+		case hin.Categorical:
+			beta := s.cat[a].Beta
+			vocab := len(beta[0])
+			eta := s.opts.SmoothEta
+			st := acc.cat[a]
+			for c := 0; c < k; c++ {
+				var sum float64
+				for l := 0; l < vocab; l++ {
+					sum += st[l*k+c] + eta
+				}
+				if sum <= 0 {
+					continue // no evidence for this cluster at all: keep β_k
+				}
+				row := beta[c]
+				for l := 0; l < vocab; l++ {
+					row[l] = (st[l*k+c] + eta) / sum
+				}
 			}
-			if sum <= 0 {
-				continue // no evidence for this cluster at all: keep β_k
-			}
-			for l := 0; l < vocab; l++ {
-				beta[k][l] = (st[k][l] + eta) / sum
+		case hin.Numeric:
+			gp := s.gauss[a]
+			w := acc.gaussW[a]
+			wx, wx2 := acc.gaussWX[a], acc.gaussWX2[a]
+			for c := range w {
+				if w[c] <= 1e-12 {
+					continue // dead component: keep previous parameters
+				}
+				mu := wx[c] / w[c]
+				variance := wx2[c]/w[c] - mu*mu
+				if variance < s.opts.VarFloor {
+					variance = s.opts.VarFloor
+				}
+				gp.Mu[c] = mu
+				gp.Var[c] = variance
 			}
 		}
 	}
-	for a, w := range acc.gaussW {
-		gp := s.gauss[a]
-		for k := range w {
-			if w[k] <= 1e-12 {
-				continue // dead component: keep previous parameters
-			}
-			mu := acc.gaussWX[a][k] / w[k]
-			variance := acc.gaussWX2[a][k]/w[k] - mu*mu
-			if variance < s.opts.VarFloor {
-				variance = s.opts.VarFloor
-			}
-			gp.Mu[k] = mu
-			gp.Var[k] = variance
+}
+
+// snapshotTheta makes the current Θ the Θ_{t−1} snapshot and hands the
+// state a scratch buffer to write Θ_t into, by swapping the two row sets —
+// no copy, no allocation after the first call. This is sound because
+// emRange fully writes every row of s.theta (either the normalized update
+// or a copy of the old row), so the stale contents of the swapped-in buffer
+// are never observed. Callers must treat the returned snapshot as owned by
+// the state: the next call recycles it.
+func (s *state) snapshotTheta() [][]float64 {
+	if s.thetaOld == nil {
+		n := len(s.theta)
+		k := s.opts.K
+		backing := make([]float64, n*k)
+		s.thetaOld = make([][]float64, n)
+		for v := range s.thetaOld {
+			s.thetaOld[v] = backing[v*k : (v+1)*k]
 		}
 	}
+	s.theta, s.thetaOld = s.thetaOld, s.theta
+	return s.thetaOld
 }
 
 // runEM executes up to `iters` EM iterations (one cluster-optimization step
@@ -297,7 +469,7 @@ func (s *state) runEM(iters int) int {
 		if s.ctx.Err() != nil {
 			return t
 		}
-		old := cloneTheta(s.theta)
+		old := s.snapshotTheta()
 		s.emIteration(old)
 		if s.opts.EMTol > 0 {
 			var move float64

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"genclus/internal/hin"
+)
+
+// EMHarness wraps a fully-initialized fitting state and exposes single EM
+// iterations — the benchmarking hook for the hot path (internal/bench and
+// BenchmarkEMIteration drive it). It is not part of the fitting API: Fit
+// owns the outer alternation; the harness only exists so a benchmark can
+// measure one steady-state E+M pass without timing initialization.
+type EMHarness struct {
+	s *state
+}
+
+// NewEMHarness validates opts against net and prepares a fitting state
+// exactly as a single-seed Fit would (CSR link views materialized, scratch
+// sized). Warm-up: the first RunIteration allocates the per-chunk
+// accumulators; every later one is allocation-free.
+func NewEMHarness(net *hin.Network, opts Options) (*EMHarness, error) {
+	if err := opts.Validate(net); err != nil {
+		return nil, err
+	}
+	return &EMHarness{s: newState(net, opts, opts.Seed, false)}, nil
+}
+
+// RunIteration executes one E+M pass: snapshot Θ_{t−1}, compute
+// responsibilities, update Θ and every attribute model β.
+func (h *EMHarness) RunIteration() {
+	h.s.emIteration(h.s.snapshotTheta())
+}
+
+// Theta exposes the current membership matrix (shared; do not mutate) so
+// benchmarks can keep the result observable to the compiler.
+func (h *EMHarness) Theta() [][]float64 { return h.s.theta }

@@ -35,7 +35,8 @@ type AttrModel struct {
 type state struct {
 	net   *hin.Network
 	opts  Options
-	attrs []int // dense attribute ids in play
+	attrs []int      // dense attribute ids in play
+	kind  []hin.Kind // attribute kind by dense attr id
 
 	// ctx aborts the fit between EM iterations; never nil.
 	ctx context.Context
@@ -43,8 +44,34 @@ type state struct {
 	theta [][]float64 // |V| × K
 	gamma []float64   // |R|
 
-	cat   map[int]*CatParams   // attr id → params
-	gauss map[int]*GaussParams // attr id → params
+	cat   []*CatParams   // by attr id; nil for numeric/out-of-play attrs
+	gauss []*GaussParams // by attr id; nil for categorical/out-of-play attrs
+
+	// Sparse link views cached from the network at construction: the
+	// per-relation out-link CSR matrices the E-step and strength statistics
+	// walk, and the merged in-link arrays symmetric propagation walks.
+	nRel     int
+	outCSR   []hin.CSR
+	inStart  []int
+	inFrom   []int
+	inRel    []int
+	inWeight []float64
+
+	// Raw observation rows cached from the network by attr id, so the
+	// E-step walks observations without per-object accessor calls.
+	termRows [][][]hin.TermCount
+	numRows  [][][]float64
+
+	// Per-iteration EM scratch, allocated once and reused so the
+	// steady-state EM loop is allocation-free (see em.go).
+	catT       [][]float64 // by attr id: term-major transpose of β, flat Vocab×K
+	halfLogVar [][]float64 // by attr id: 0.5·ln σ²_k per Gaussian component
+	thetaOld   [][]float64 // Θ_{t−1} snapshot buffer (snapshotTheta)
+	accums     []*emAccum  // one per reduction chunk (ensureEMScratch)
+
+	// Reusable strength-learning statistics (see strength.go).
+	strength      strengthStats
+	strengthReady bool
 
 	rng *rand.Rand
 	// permuteGaussInit shuffles the quantile-seeded Gaussian means per
@@ -56,15 +83,40 @@ type state struct {
 }
 
 func newState(net *hin.Network, opts Options, seed int64, permuteGauss bool) *state {
+	nAttr := net.NumAttrs()
 	s := &state{
 		net:              net,
 		opts:             opts,
 		ctx:              context.Background(),
 		attrs:            opts.attrIDs(net),
+		kind:             make([]hin.Kind, nAttr),
 		rng:              rand.New(rand.NewSource(seed)),
-		cat:              make(map[int]*CatParams),
-		gauss:            make(map[int]*GaussParams),
+		cat:              make([]*CatParams, nAttr),
+		gauss:            make([]*GaussParams, nAttr),
+		catT:             make([][]float64, nAttr),
+		halfLogVar:       make([][]float64, nAttr),
+		nRel:             net.NumRelations(),
 		permuteGaussInit: permuteGauss,
+	}
+	for a := 0; a < nAttr; a++ {
+		s.kind[a] = net.Attr(a).Kind
+	}
+	// Materialize the sparse link views once; PrepareCSR is idempotent, so
+	// concurrent fits of a shared network build them exactly once.
+	s.outCSR = net.RelationCSRs()
+	s.inStart, s.inFrom, s.inRel, s.inWeight = net.InLinkArrays()
+	s.termRows = make([][][]hin.TermCount, nAttr)
+	s.numRows = make([][][]float64, nAttr)
+	for _, a := range s.attrs {
+		spec := net.Attr(a)
+		switch spec.Kind {
+		case hin.Categorical:
+			s.catT[a] = make([]float64, spec.VocabSize*opts.K)
+			s.termRows[a] = net.AttrTermCounts(a)
+		case hin.Numeric:
+			s.halfLogVar[a] = make([]float64, opts.K)
+			s.numRows[a] = net.AttrNumericObs(a)
+		}
 	}
 	g0 := opts.InitialGamma
 	if g0 == 0 {

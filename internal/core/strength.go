@@ -23,41 +23,66 @@ type strengthStats struct {
 	s       []float64 // len(objs)×nRel
 	sik     []float64 // len(objs)×nRel×k
 	f       []float64 // len(objs)×nRel
+
+	logTheta []float64 // k-sized fill scratch
 }
 
+// buildStrengthStats (re)fills the state's reusable strength statistics
+// from the current Θ. The aggregate arrays are sized once per fit — their
+// shape depends only on the immutable network and K — and zeroed on reuse,
+// so the per-outer-iteration strength step allocates nothing in steady
+// state. Links are walked through the per-relation CSR views in the same
+// (relation, target) order the sorted edge list yields, keeping the sums
+// bitwise identical to the pre-CSR path.
 func (s *state) buildStrengthStats() *strengthStats {
-	nRel := s.net.NumRelations()
-	k := s.opts.K
-	var objs []int
-	for v := 0; v < s.net.NumObjects(); v++ {
-		if s.net.OutDegree(v) > 0 {
-			objs = append(objs, v)
+	st := &s.strength
+	if !s.strengthReady {
+		nRel := s.net.NumRelations()
+		k := s.opts.K
+		var objs []int
+		for v := 0; v < s.net.NumObjects(); v++ {
+			if s.net.OutDegree(v) > 0 {
+				objs = append(objs, v)
+			}
 		}
+		st.nRel, st.k = nRel, k
+		st.objs = objs
+		st.s = make([]float64, len(objs)*nRel)
+		st.sik = make([]float64, len(objs)*nRel*k)
+		st.f = make([]float64, len(objs)*nRel)
+		st.logTheta = make([]float64, k)
+		s.strengthReady = true
+	} else {
+		clear(st.s)
+		clear(st.sik)
+		clear(st.f)
 	}
-	st := &strengthStats{
-		nRel: nRel,
-		k:    k,
-		objs: objs,
-		s:    make([]float64, len(objs)*nRel),
-		sik:  make([]float64, len(objs)*nRel*k),
-		f:    make([]float64, len(objs)*nRel),
-	}
-	logTheta := make([]float64, k)
-	for oi, v := range objs {
+
+	nRel, k := st.nRel, st.k
+	logTheta := st.logTheta
+	for oi, v := range st.objs {
 		ti := s.theta[v]
 		for c := 0; c < k; c++ {
 			logTheta[c] = math.Log(ti[c])
 		}
-		for _, e := range s.net.OutEdges(v) {
-			tj := s.theta[e.To]
-			base := (oi*nRel + e.Rel) * k
-			var ce float64
-			for c := 0; c < k; c++ {
-				st.sik[base+c] += e.Weight * tj[c]
-				ce += tj[c] * logTheta[c]
+		for r := 0; r < nRel; r++ {
+			m := &s.outCSR[r]
+			lo, hi := m.Start[v], m.Start[v+1]
+			if lo == hi {
+				continue
 			}
-			st.s[oi*nRel+e.Rel] += e.Weight
-			st.f[oi*nRel+e.Rel] += e.Weight * ce
+			base := (oi*nRel + r) * k
+			for j := lo; j < hi; j++ {
+				w := m.Weight[j]
+				tj := s.theta[m.Col[j]]
+				var ce float64
+				for c := 0; c < k; c++ {
+					st.sik[base+c] += w * tj[c]
+					ce += tj[c] * logTheta[c]
+				}
+				st.s[oi*nRel+r] += w
+				st.f[oi*nRel+r] += w * ce
+			}
 		}
 	}
 	return st

@@ -494,7 +494,7 @@ func TestWeatherNetworkRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, err := hin.FromJSON(data)
+	back, err := hin.FromJSONLimited(data, hin.Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}

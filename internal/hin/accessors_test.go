@@ -47,7 +47,7 @@ func TestWriteTo(t *testing.T) {
 	if n != int64(buf.Len()) || buf.Len() == 0 {
 		t.Errorf("WriteTo reported %d bytes for %d written", n, buf.Len())
 	}
-	back, err := FromJSON(buf.Bytes())
+	back, err := FromJSONLimited(buf.Bytes(), Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestSaveFileErrorPath(t *testing.T) {
 	if err := net.SaveFile("/nonexistent-dir/zzz/net.json"); err == nil {
 		t.Error("writing to a bogus path should fail")
 	}
-	if _, err := LoadFile("/nonexistent-dir/zzz/net.json"); err == nil {
+	if _, err := LoadFileLimited("/nonexistent-dir/zzz/net.json", Limits{}); err == nil {
 		t.Error("loading a bogus path should fail")
 	}
 }

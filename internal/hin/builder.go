@@ -264,19 +264,15 @@ func (b *Builder) Build() (*Network, error) {
 		n.outStart[v+1] += n.outStart[v]
 	}
 
-	// CSR in-adjacency over edge indices.
+	// In-link offsets by To. The in-adjacency itself (per-relation CSR
+	// transposes and the merged in-link view) is built lazily by
+	// Network.PrepareCSR on first use.
 	n.inStart = make([]int, nObj+1)
 	for _, e := range n.edges {
 		n.inStart[e.To+1]++
 	}
 	for v := 0; v < nObj; v++ {
 		n.inStart[v+1] += n.inStart[v]
-	}
-	n.inEdges = make([]int, len(n.edges))
-	cursor := append([]int(nil), n.inStart...)
-	for ei, e := range n.edges {
-		n.inEdges[cursor[e.To]] = ei
-		cursor[e.To]++
 	}
 
 	// Freeze observations into sorted sparse slices.

@@ -40,6 +40,12 @@ func FuzzDecodeNetwork(f *testing.F) {
 	f.Add([]byte(`null`))
 	f.Add([]byte(`{"objects":[{"id":"a","type":"t"}]}`))
 	f.Add([]byte(`{"attributes":[{"name":"n","kind":"numeric"}],"objects":[{"id":"a","type":"t","numeric":{"n":[1e308,-1e308]}}]}`))
+	// Self-links and duplicate (src, dst, relation) links: the CSR builder
+	// must keep duplicates as separate adjacent entries (never coalesce).
+	f.Add([]byte(`{"objects":[{"id":"a","type":"t"},{"id":"b","type":"t"}],` +
+		`"links":[{"from":"a","to":"a","rel":"self","w":1},` +
+		`{"from":"a","to":"b","rel":"r","w":1},{"from":"a","to":"b","rel":"r","w":2},` +
+		`{"from":"b","to":"a","rel":"r","w":0.5}]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		net, err := FromJSONLimited(data, fuzzLimits)
@@ -62,6 +68,9 @@ func FuzzDecodeNetwork(f *testing.F) {
 				net.NumObjects(), again.NumObjects(), net.NumEdges(), again.NumEdges(),
 				net.NumRelations(), again.NumRelations(), net.NumAttrs(), again.NumAttrs())
 		}
+		// Any decodable network must also yield structurally sound CSR
+		// link views — the storage every fit walks.
+		checkCSRInvariants(t, net)
 	})
 }
 

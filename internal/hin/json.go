@@ -105,9 +105,10 @@ type Limits struct {
 // answer 413 instead of 400.
 type LimitError struct {
 	Dimension string // "objects", "links", "attributes", "vocabulary", "observations"
-	Got, Max  int
+	Got, Max  int    // observed count and the bound it exceeded
 }
 
+// Error implements the error interface.
 func (e *LimitError) Error() string {
 	return fmt.Sprintf("hin: %d %s exceeds limit %d", e.Got, e.Dimension, e.Max)
 }
@@ -146,16 +147,15 @@ func (l Limits) check(doc *networkJSON) error {
 	return nil
 }
 
-// FromJSON parses a network serialized by MarshalJSON, re-running full
-// Builder validation. It applies no resource limits; decode untrusted
-// input with FromJSONLimited instead.
-func FromJSON(data []byte) (*Network, error) {
-	return FromJSONLimited(data, Limits{})
-}
-
-// FromJSONLimited is FromJSON with resource limits enforced before any
-// network structure is built, so a small hostile document cannot force a
-// large allocation downstream.
+// FromJSONLimited parses a network serialized by MarshalJSON, re-running
+// full Builder validation, with resource limits enforced before any network
+// structure is built — so a small hostile document cannot force a large
+// allocation downstream. Limits fields that are zero are unenforced;
+// callers decoding input they did not produce should pass real bounds
+// (genclus.DefaultDecodeLimits is the library-wide default).
+//
+// There is deliberately no unbounded FromJSON: the bounded decoder is the
+// only path from bytes to a Network, and "unbounded" is spelled Limits{}.
 func FromJSONLimited(data []byte, lim Limits) (*Network, error) {
 	var doc networkJSON
 	if err := json.Unmarshal(data, &doc); err != nil {
@@ -220,14 +220,9 @@ func (n *Network) SaveFile(path string) error {
 	return nil
 }
 
-// LoadFile reads a network from a JSON file. It applies no resource
-// limits; load files you did not write with LoadFileLimited.
-func LoadFile(path string) (*Network, error) {
-	return LoadFileLimited(path, Limits{})
-}
-
-// LoadFileLimited is LoadFile with resource limits enforced before any
-// network structure is built.
+// LoadFileLimited reads a network from a JSON file with resource limits
+// enforced before any network structure is built. As with FromJSONLimited,
+// Limits{} means unbounded and there is no unbounded convenience wrapper.
 func LoadFileLimited(path string, lim Limits) (*Network, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -13,6 +13,7 @@ package hin
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Kind distinguishes the two attribute families the paper models (§3.2):
@@ -42,9 +43,9 @@ func (k Kind) String() string {
 // AttrSpec declares an attribute: its name, kind, and (for categorical
 // attributes) vocabulary size.
 type AttrSpec struct {
-	Name      string
-	Kind      Kind
-	VocabSize int // required > 0 for Categorical, ignored for Numeric
+	Name      string // attribute name, unique per network
+	Kind      Kind   // Categorical or Numeric
+	VocabSize int    // required > 0 for Categorical, ignored for Numeric
 }
 
 // Object is a typed node.
@@ -56,16 +57,16 @@ type Object struct {
 // Edge is a typed, weighted, directed link. From/To are dense object
 // indices; Rel is a dense relation index.
 type Edge struct {
-	From   int
-	To     int
-	Rel    int
-	Weight float64
+	From   int     // dense index of the source object
+	To     int     // dense index of the target object
+	Rel    int     // dense relation id (φ)
+	Weight float64 // positive finite link weight (W)
 }
 
 // TermCount is one entry of a sparse categorical observation.
 type TermCount struct {
-	Term  int
-	Count float64
+	Term  int     // term index within the attribute's vocabulary
+	Count float64 // accumulated positive count (c_{v,l})
 }
 
 // Network is an immutable heterogeneous information network.
@@ -79,8 +80,17 @@ type Network struct {
 
 	edges    []Edge // sorted by (From, Rel, To)
 	outStart []int  // CSR offsets into edges by From
-	inEdges  []int  // edge indices sorted by To
-	inStart  []int  // CSR offsets into inEdges by To
+	inStart  []int  // in-link counts per object, as CSR offsets by To
+
+	// csr holds the lazily-built per-relation CSR link views the EM hot
+	// path walks (see csr.go). Built at most once per network; csrOnce
+	// makes concurrent fits of a shared network safe. The per-relation
+	// transposes (csrT) build separately on first demand — no production
+	// path consumes them yet.
+	csrOnce  sync.Once
+	csr      *csrViews
+	csrTOnce sync.Once
+	csrT     []CSR
 
 	attrs     []AttrSpec
 	attrIndex map[string]int
@@ -151,9 +161,6 @@ func (n *Network) OutEdges(v int) []Edge { return n.edges[n.outStart[v]:n.outSta
 // OutDegree returns the number of out-links of v.
 func (n *Network) OutDegree(v int) int { return n.outStart[v+1] - n.outStart[v] }
 
-// InEdgeIndices returns indices into Edges() of the in-links of object v.
-func (n *Network) InEdgeIndices(v int) []int { return n.inEdges[n.inStart[v]:n.inStart[v+1]] }
-
 // InDegree returns the number of in-links of v.
 func (n *Network) InDegree(v int) int { return n.inStart[v+1] - n.inStart[v] }
 
@@ -185,6 +192,29 @@ func (n *Network) NumericObs(a, v int) []float64 {
 		panic(fmt.Sprintf("hin: NumericObs on %s attribute %q", n.attrs[a].Kind, n.attrs[a].Name))
 	}
 	return n.numObs[a][v]
+}
+
+// AttrTermCounts returns the per-object sparse term-count lists of
+// categorical attribute a, indexed by dense object id (nil entries mark
+// objects without an observation). Shared; callers must not mutate. Hot
+// loops use it to walk observations without per-object accessor calls.
+// Panics if a is numeric.
+func (n *Network) AttrTermCounts(a int) [][]TermCount {
+	if n.attrs[a].Kind != Categorical {
+		panic(fmt.Sprintf("hin: AttrTermCounts on %s attribute %q", n.attrs[a].Kind, n.attrs[a].Name))
+	}
+	return n.catObs[a]
+}
+
+// AttrNumericObs returns the per-object numeric observation lists of
+// numeric attribute a, indexed by dense object id (nil entries mark objects
+// without an observation). Shared; callers must not mutate. Panics if a is
+// categorical.
+func (n *Network) AttrNumericObs(a int) [][]float64 {
+	if n.attrs[a].Kind != Numeric {
+		panic(fmt.Sprintf("hin: AttrNumericObs on %s attribute %q", n.attrs[a].Kind, n.attrs[a].Name))
+	}
+	return n.numObs[a]
 }
 
 // HasObservation reports whether object v carries any observation of
@@ -219,12 +249,12 @@ func (n *Network) ObservationCount(a, v int) float64 {
 
 // Stats summarizes a network for logs and documentation.
 type Stats struct {
-	Objects      int
-	Edges        int
-	Relations    int
-	Attributes   int
-	TypeCounts   map[string]int
-	RelCounts    map[string]int
+	Objects      int            // |V|
+	Edges        int            // |E|
+	Relations    int            // |R|
+	Attributes   int            // declared attributes
+	TypeCounts   map[string]int // object type → #objects
+	RelCounts    map[string]int // relation name → #links
 	ObservedObjs map[string]int // attribute name → #objects with ≥1 observation
 }
 

@@ -109,13 +109,24 @@ func TestAdjacencyConsistency(t *testing.T) {
 	}
 	inSeen := 0
 	for v := 0; v < net.NumObjects(); v++ {
-		for _, ei := range net.InEdgeIndices(v) {
-			if net.Edges()[ei].To != v {
-				t.Fatalf("in-edge of %d has To=%d", v, net.Edges()[ei].To)
+		from, rels, weights := net.InLinks(v)
+		if len(rels) != len(from) || len(weights) != len(from) {
+			t.Fatalf("in-link arrays of %d disagree on length", v)
+		}
+		for j, u := range from {
+			found := false
+			for _, e := range net.OutEdges(u) {
+				if e.To == v && e.Rel == rels[j] && e.Weight == weights[j] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("in-link %d of object %d (from %d rel %d) has no matching out-edge", j, v, u, rels[j])
 			}
 			inSeen++
 		}
-		if net.InDegree(v) != len(net.InEdgeIndices(v)) {
+		if net.InDegree(v) != len(from) {
 			t.Error("InDegree mismatch")
 		}
 	}
@@ -320,7 +331,7 @@ func TestJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, err := FromJSON(data)
+	back, err := FromJSONLimited(data, Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +344,7 @@ func TestJSONFileRoundTrip(t *testing.T) {
 	if err := net.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	back, err := LoadFile(path)
+	back, err := LoadFileLimited(path, Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,13 +352,13 @@ func TestJSONFileRoundTrip(t *testing.T) {
 }
 
 func TestFromJSONErrors(t *testing.T) {
-	if _, err := FromJSON([]byte("{not json")); err == nil {
+	if _, err := FromJSONLimited([]byte("{not json"), Limits{}); err == nil {
 		t.Error("malformed JSON should error")
 	}
-	if _, err := FromJSON([]byte(`{"attributes":[{"name":"x","kind":"mystery"}],"objects":[{"id":"a","type":"t"}]}`)); err == nil {
+	if _, err := FromJSONLimited([]byte(`{"attributes":[{"name":"x","kind":"mystery"}],"objects":[{"id":"a","type":"t"}]}`), Limits{}); err == nil {
 		t.Error("unknown attribute kind should error")
 	}
-	if _, err := FromJSON([]byte(`{"objects":[]}`)); err == nil {
+	if _, err := FromJSONLimited([]byte(`{"objects":[]}`), Limits{}); err == nil {
 		t.Error("empty object list should error")
 	}
 }

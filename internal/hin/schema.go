@@ -11,16 +11,16 @@ import (
 // formalism — "if a relation exists from type A to type B, denoted ARB" —
 // made checkable.
 type RelationSignature struct {
-	Relation string
-	SrcType  string
-	DstType  string
+	Relation string // relation name
+	SrcType  string // object type every source has
+	DstType  string // object type every target has
 }
 
 // Schema is the typed structure of a network: object types and the
 // signature of every relation.
 type Schema struct {
-	ObjectTypes []string
-	Relations   []RelationSignature
+	ObjectTypes []string            // all object type names, sorted
+	Relations   []RelationSignature // one signature per relation, by dense id
 }
 
 // InferSchema derives the schema from a network's edges. It fails when a

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseSpecPaths scans docs/openapi.yaml with a minimal indentation-based
+// reader (no YAML dependency) and returns the set of "METHOD path" pairs
+// declared under the top-level paths: section. It understands exactly the
+// layout the spec uses — path keys at two spaces, method keys at four —
+// which is all the coverage test needs.
+func parseSpecPaths(t *testing.T) map[string]bool {
+	t.Helper()
+	f, err := os.Open(filepath.Join("..", "..", "docs", "openapi.yaml"))
+	if err != nil {
+		t.Fatalf("open OpenAPI spec: %v", err)
+	}
+	defer f.Close()
+
+	methods := map[string]bool{
+		"get": true, "post": true, "put": true, "patch": true,
+		"delete": true, "head": true, "options": true,
+	}
+	declared := make(map[string]bool)
+	inPaths := false
+	currentPath := ""
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		indent := len(line) - len(strings.TrimLeft(line, " "))
+		switch {
+		case indent == 0:
+			inPaths = trimmed == "paths:"
+			currentPath = ""
+		case inPaths && indent == 2 && strings.HasSuffix(trimmed, ":"):
+			currentPath = strings.TrimSuffix(trimmed, ":")
+		case inPaths && indent == 4 && strings.HasSuffix(trimmed, ":"):
+			m := strings.TrimSuffix(trimmed, ":")
+			if methods[m] && currentPath != "" {
+				declared[strings.ToUpper(m)+" "+currentPath] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan OpenAPI spec: %v", err)
+	}
+	if len(declared) == 0 {
+		t.Fatal("no operations found under paths: — spec layout changed?")
+	}
+	return declared
+}
+
+// TestOpenAPISpecCoversRoutes pins docs/openapi.yaml to the server's route
+// table in both directions: every registered route must be documented, and
+// every documented operation must still be registered. Adding an endpoint
+// without documenting it — or documenting one that no longer exists —
+// fails CI here.
+func TestOpenAPISpecCoversRoutes(t *testing.T) {
+	declared := parseSpecPaths(t)
+
+	srv := New(Config{})
+	defer srv.Close()
+	registered := make(map[string]bool)
+	for _, rt := range srv.Routes() {
+		registered[rt.Method+" "+rt.Path] = true
+	}
+
+	for key := range registered {
+		if !declared[key] {
+			t.Errorf("route %q is registered but missing from docs/openapi.yaml", key)
+		}
+	}
+	for key := range declared {
+		if !registered[key] {
+			t.Errorf("operation %q is documented in docs/openapi.yaml but not registered on the server", key)
+		}
+	}
+}

@@ -159,18 +159,47 @@ func New(cfg Config) *Server {
 		sweeper:  make(chan struct{}),
 		draining: make(chan struct{}),
 	}
-	s.mux.HandleFunc("POST /v1/networks", s.handleUploadNetwork)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	for _, rt := range s.routes() {
+		s.mux.HandleFunc(rt.Method+" "+rt.Path, rt.handler)
+	}
 	go s.janitor()
 	return s
 }
 
-// Handler returns the route table.
+// Route is one registered endpoint: an HTTP method plus a net/http pattern
+// (path parameters in {braces}). Routes() exposes the table so tests can
+// assert that docs/openapi.yaml covers every endpoint — the spec and the
+// mux share this single source of truth.
+type Route struct {
+	Method string
+	Path   string
+
+	handler http.HandlerFunc
+}
+
+// routes is the single route table both the mux and Routes are built from.
+func (s *Server) routes() []Route {
+	return []Route{
+		{Method: "POST", Path: "/v1/networks", handler: s.handleUploadNetwork},
+		{Method: "POST", Path: "/v1/jobs", handler: s.handleSubmitJob},
+		{Method: "GET", Path: "/v1/jobs/{id}", handler: s.handleJobStatus},
+		{Method: "GET", Path: "/v1/jobs/{id}/result", handler: s.handleJobResult},
+		{Method: "GET", Path: "/v1/jobs/{id}/events", handler: s.handleJobEvents},
+		{Method: "DELETE", Path: "/v1/jobs/{id}", handler: s.handleCancelJob},
+		{Method: "GET", Path: "/healthz", handler: s.handleHealthz},
+	}
+}
+
+// Routes returns every registered endpoint (method + path pattern).
+func (s *Server) Routes() []Route {
+	out := s.routes()
+	for i := range out {
+		out[i].handler = nil
+	}
+	return out
+}
+
+// Handler returns the http.Handler serving the route table.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // DrainStreams ends every live event stream (idempotent). Hook it up via
@@ -380,6 +409,11 @@ func (s *Server) handleUploadNetwork(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "%v", err)
 		return
 	}
+	// Materialize the sparse link views at the trust boundary, once per
+	// upload, so the first fit of this network does not pay the CSR build
+	// inside its job slot (PrepareCSR is idempotent — a concurrent fit of
+	// the same network just finds them ready).
+	net.PrepareCSR()
 	id := s.store.addNetwork(net)
 	writeJSON(w, http.StatusCreated, networkResponse{
 		ID:         id,
