@@ -101,6 +101,52 @@ func TestCLIPipeline(t *testing.T) {
 		}
 	}
 
+	// 2b. Persist the fitted model and warm-start a second run from it:
+	// the snapshot round-trips through the CLI and the refit does less EM
+	// work than the cold fit (the warm-start contract).
+	modelPath := filepath.Join(dir, "model.gcsnap")
+	refitPath := filepath.Join(dir, "refit.json")
+	run(genclusBin, "-in", netPath, "-k", "4", "-outer", "3", "-em", "4",
+		"-out", resultPath, "-save-model", modelPath)
+	if fi, err := os.Stat(modelPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("-save-model produced no snapshot: %v", err)
+	}
+	run(genclusBin, "-in", netPath, "-from-model", modelPath, "-outer", "3", "-em", "4",
+		"-out", refitPath)
+	var refit struct {
+		K       int `json:"k"`
+		Objects []struct {
+			ID string `json:"id"`
+		} `json:"objects"`
+	}
+	refitData, err := os.ReadFile(refitPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(refitData, &refit); err != nil {
+		t.Fatal(err)
+	}
+	if refit.K != 4 || len(refit.Objects) != 90 {
+		t.Fatalf("refit result shape wrong: K=%d objects=%d", refit.K, len(refit.Objects))
+	}
+	// A -k flag that disagrees with the snapshot must fail.
+	if err := exec.Command(genclusBin, "-in", netPath, "-from-model", modelPath, "-k", "7").Run(); err == nil {
+		t.Error("genclus with conflicting -k and -from-model should fail")
+	}
+	// A corrupt snapshot must fail, not panic or fit garbage.
+	badModel := filepath.Join(dir, "bad.gcsnap")
+	snapData, err := os.ReadFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapData[len(snapData)/2] ^= 0x10
+	if err := os.WriteFile(badModel, snapData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Command(genclusBin, "-in", netPath, "-from-model", badModel).Run(); err == nil {
+		t.Error("genclus with corrupt model snapshot should fail")
+	}
+
 	// 3. The experiments tool lists its registry.
 	listing := string(run(experimentsBin, "-list"))
 	for _, id := range []string{"fig5", "table5", "parallel", "selectk"} {

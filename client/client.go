@@ -76,11 +76,13 @@ func New(baseURL string, opts ...Option) *Client {
 	return c
 }
 
-// APIError is a non-2xx response from the service, carrying the HTTP status
-// and the server's error message.
+// APIError is a non-2xx response from the service, carrying the HTTP
+// status, the server's error message, and — when the server set one — its
+// machine-readable error code.
 type APIError struct {
 	StatusCode int    // HTTP status the service answered with
 	Message    string // server-side error description
+	Code       string // machine-readable condition (e.g. "job_evicted"), "" when unset
 }
 
 // Error implements the error interface.
@@ -88,8 +90,27 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("genclusd: %d: %s", e.StatusCode, e.Message)
 }
 
+// Is routes errors.Is through the server's error code, so a 404 on a
+// TTL-evicted job matches ErrJobEvicted while a never-existed job does not.
+func (e *APIError) Is(target error) bool {
+	return target == ErrJobEvicted && e.Code == codeJobEvicted
+}
+
+// codeJobEvicted is the server's error code for 404s on TTL-evicted jobs.
+const codeJobEvicted = "job_evicted"
+
+// ErrJobEvicted reports that a job existed but was evicted after its TTL —
+// its result is gone from the job table, though the fitted model usually
+// survives in the /v1/models registry (finished fits register one
+// automatically; see Job.ModelID). Test with errors.Is; the concrete error
+// remains an *APIError with the full server message. The server's eviction
+// tombstones are process-local, so after a restart an evicted job id
+// answers a plain 404 — hold on to the model id, not the job id, across
+// restarts.
+var ErrJobEvicted = errors.New("genclusd: job evicted after TTL")
+
 // IsNotFound reports whether err is an APIError with status 404 — an
-// unknown (or TTL-evicted) network or job.
+// unknown (or TTL-evicted) network, job, or model.
 func IsNotFound(err error) bool {
 	var ae *APIError
 	return errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound
@@ -141,15 +162,20 @@ type JobOptions struct {
 }
 
 // JobSpec is a fit submission. K is required unless WarmStartFrom names a
-// finished job, in which case K defaults to (and must match) that fit's K.
-// Truth maps object IDs to ground-truth labels and enables NMI/ARI/purity
-// on the result.
+// finished job (or WarmStartFromModel a registered model), in which case K
+// defaults to (and must match) that fit's K. Truth maps object IDs to
+// ground-truth labels and enables NMI/ARI/purity on the result.
 type JobSpec struct {
 	NetworkID     string         `json:"network_id"`                // id from UploadNetwork
 	K             int            `json:"k"`                         // number of clusters
 	Options       *JobOptions    `json:"options,omitempty"`         // nil keeps every default
 	Truth         map[string]int `json:"truth,omitempty"`           // object id → ground-truth label
 	WarmStartFrom string         `json:"warm_start_from,omitempty"` // finished job id to warm-start from
+	// WarmStartFromModel names a registry model to warm-start from instead
+	// of a job — models never expire, so this is the handle for refitting
+	// an evolved network against a snapshot across restarts and deploys.
+	// Mutually exclusive with WarmStartFrom.
+	WarmStartFromModel string `json:"warm_start_from_model,omitempty"`
 }
 
 // Progress is a fit progress report: completed outer iterations out of the
@@ -166,6 +192,7 @@ type Job struct {
 	State     JobState  `json:"state"`              // lifecycle state
 	Progress  *Progress `json:"progress,omitempty"` // latest progress report, if any
 	Error     string    `json:"error,omitempty"`    // failure reason (state "failed" only)
+	ModelID   string    `json:"model_id,omitempty"` // registry model of the finished fit (state "done" only)
 	Created   string    `json:"created"`            // RFC 3339 submission time
 	Started   string    `json:"started,omitempty"`  // RFC 3339 fit start time
 	Finished  string    `json:"finished,omitempty"` // RFC 3339 terminal time
@@ -232,7 +259,33 @@ type Health struct {
 	UptimeSeconds float64        `json:"uptime_seconds"` // seconds since start
 	Workers       int            `json:"workers"`        // fit worker pool size
 	Networks      int            `json:"networks"`       // stored (non-evicted) networks
+	Models        int            `json:"models"`         // registered models
 	Jobs          map[string]int `json:"jobs"`           // job count per state
+	// PersistFailures counts fits whose snapshot or record failed to reach
+	// the server's data dir (served memory-only until restart); nonzero
+	// means durability is degraded on the server.
+	PersistFailures int64 `json:"persist_failures"`
+}
+
+// ModelInfo is one registry entry of the /v1/models API: identity and
+// provenance of a fitted (or imported) model whose full state lives in the
+// binary snapshot behind ExportModel.
+type ModelInfo struct {
+	ID            string `json:"id"`                       // model id
+	K             int    `json:"k"`                        // number of clusters
+	Objects       int    `json:"objects"`                  // Θ rows (clustered objects)
+	JobID         string `json:"job_id,omitempty"`         // source job (fitted models only)
+	NetworkID     string `json:"network_id,omitempty"`     // source network (fitted models only)
+	Created       string `json:"created"`                  // RFC 3339 registration time
+	Digest        string `json:"digest"`                   // hex SHA-256 of the snapshot bytes
+	SizeBytes     int64  `json:"size_bytes"`               // snapshot length
+	OptionsDigest string `json:"options_digest,omitempty"` // digest of the fit's scalar hyperparameters
+	EMIterations  int    `json:"em_iterations"`            // EM work the source fit spent
+}
+
+// modelList is the GET /v1/models wire wrapper.
+type modelList struct {
+	Models []ModelInfo `json:"models"`
 }
 
 // UploadNetwork serializes and uploads a network, returning its server-side
@@ -309,6 +362,59 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 	var out Health
 	if err := c.do(ctx, http.MethodGet, "/healthz", nil, true, &out); err != nil {
 		return nil, err
+	}
+	return &out, nil
+}
+
+// ListModels fetches the model registry, newest first. Every finished fit
+// registers a model automatically (see Job.ModelID); imported snapshots
+// join the same registry. Models never TTL-expire.
+func (c *Client) ListModels(ctx context.Context) ([]ModelInfo, error) {
+	var out modelList
+	if err := c.do(ctx, http.MethodGet, "/v1/models", nil, true, &out); err != nil {
+		return nil, err
+	}
+	return out.Models, nil
+}
+
+// GetModel fetches one registry entry.
+func (c *Client) GetModel(ctx context.Context, modelID string) (*ModelInfo, error) {
+	var out ModelInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/models/"+modelID, nil, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteModel removes a model from the registry (and, on a persistent
+// server, from disk).
+func (c *Client) DeleteModel(ctx context.Context, modelID string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/models/"+modelID, nil, true, nil)
+}
+
+// ExportModel downloads the model's binary snapshot — the portable form of
+// a fitted model: import it into another genclusd (ImportModel), load it in
+// the genclus CLI (-from-model), or decode it locally with
+// genclus.DecodeModel to drive a local Refit. The bytes are deterministic
+// for a given model; their SHA-256 is the registry entry's Digest.
+func (c *Client) ExportModel(ctx context.Context, modelID string) ([]byte, error) {
+	return c.doRaw(ctx, http.MethodGet, "/v1/models/"+modelID+"/export", nil, "", true)
+}
+
+// ImportModel registers a binary model snapshot (bytes from ExportModel,
+// genclus.EncodeModel, or the CLI's -save-model) and returns the new
+// registry entry. The server only accepts canonical snapshot encodings, so
+// a later ExportModel of the entry returns these exact bytes.
+func (c *Client) ImportModel(ctx context.Context, data []byte) (*ModelInfo, error) {
+	// Import is not retried: a retry after an ambiguous failure could
+	// register the snapshot twice (same digest, two ids).
+	body, err := c.doRaw(ctx, http.MethodPost, "/v1/models/import", data, "application/octet-stream", false)
+	if err != nil {
+		return nil, err
+	}
+	var out ModelInfo
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("client: decode import response: %w", err)
 	}
 	return &out, nil
 }
@@ -390,25 +496,41 @@ func (c *Client) waitTerminal(ctx context.Context, jobID string) (*Job, error) {
 	}
 }
 
-// do issues one API request with bounded retries on transient failures.
-// Non-2xx responses become *APIError; only idempotent requests and
-// transient statuses (502/503/504) are retried.
+// do issues one JSON API request with bounded retries on transient
+// failures, unmarshaling a 2xx body into out (when non-nil). Non-2xx
+// responses become *APIError; only idempotent requests and transient
+// statuses (502/503/504) are retried.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, idempotent bool, out any) error {
+	contentType := ""
+	if body != nil {
+		contentType = "application/json"
+	}
+	data, err := c.doRaw(ctx, method, path, body, contentType, idempotent)
+	if err != nil {
+		return err
+	}
+	if out == nil || len(data) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// doRaw issues one request with bounded retries and returns the raw 2xx
+// body — the byte-level transport shared by the JSON surface and the
+// binary snapshot endpoints.
+func (c *Client) doRaw(ctx context.Context, method, path string, body []byte, contentType string, idempotent bool) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		data, err := c.once(ctx, method, path, body)
+		data, err := c.once(ctx, method, path, body, contentType)
 		if err == nil {
-			if out == nil || len(data) == 0 {
-				return nil
-			}
-			if err := json.Unmarshal(data, out); err != nil {
-				return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
-			}
-			return nil
+			return data, nil
 		}
 		lastErr = err
 		if !idempotent || attempt >= c.maxRetries || !transient(err) || ctx.Err() != nil {
-			return lastErr
+			return nil, lastErr
 		}
 		// Cap the exponent so a generous retry budget cannot overflow
 		// time.Duration into an instant-retry hot loop.
@@ -418,14 +540,14 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, idemp
 		}
 		select {
 		case <-ctx.Done():
-			return ctx.Err()
+			return nil, ctx.Err()
 		case <-time.After(c.retryBase << shift):
 		}
 	}
 }
 
 // once issues a single HTTP request and maps non-2xx to *APIError.
-func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+func (c *Client) once(ctx context.Context, method, path string, body []byte, contentType string) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -434,8 +556,8 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]
 	if err != nil {
 		return nil, fmt.Errorf("client: build request: %w", err)
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -447,21 +569,23 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]
 		return nil, fmt.Errorf("client: read %s %s response: %w", method, path, err)
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return nil, &APIError{StatusCode: resp.StatusCode, Message: errorMessage(data)}
+		msg, code := errorMessage(data)
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: msg, Code: code}
 	}
 	return data, nil
 }
 
-// errorMessage extracts the server's {"error": ...} message, falling back
-// to the raw body.
-func errorMessage(body []byte) string {
+// errorMessage extracts the server's {"error", "code"} body, falling back
+// to the raw text for non-JSON errors (proxies, older servers).
+func errorMessage(body []byte) (msg, code string) {
 	var er struct {
 		Error string `json:"error"`
+		Code  string `json:"code"`
 	}
 	if err := json.Unmarshal(body, &er); err == nil && er.Error != "" {
-		return er.Error
+		return er.Error, er.Code
 	}
-	return strings.TrimSpace(string(body))
+	return strings.TrimSpace(string(body)), ""
 }
 
 // transient reports whether an error is worth retrying: network-level

@@ -52,7 +52,10 @@ func testNetwork(t *testing.T, perTopic int) (*genclus.Network, map[string]int) 
 // only — no raw HTTP.
 func testDaemon(t *testing.T, cfg server.Config) *client.Client {
 	t.Helper()
-	s := server.New(cfg)
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -341,7 +344,10 @@ func TestSDKWaitPollingFallback(t *testing.T) {
 		{"older-server", http.StatusNotFound},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			s := server.New(server.Config{Workers: 1})
+			s, err := server.New(server.Config{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
 			inner := s.Handler()
 			proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 				if r.URL.Path != "/healthz" && len(r.URL.Path) > 7 && r.URL.Path[len(r.URL.Path)-7:] == "/events" {

@@ -15,7 +15,10 @@ import (
 // event stream until the job finishes, and read the fitted model. Against a
 // real deployment, replace the httptest URL with the daemon's address.
 func ExampleClient_WaitForResult() {
-	srv := server.New(server.Config{Workers: 1})
+	srv, err := server.New(server.Config{Workers: 1})
+	if err != nil {
+		panic(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer func() {
 		ts.Close()

@@ -1,0 +1,258 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"genclus"
+	"genclus/client"
+	"genclus/internal/server"
+)
+
+// TestSDKModelRegistry drives the /v1/models surface exclusively through
+// the SDK: a finished fit's model lists and exports, the export decodes
+// into a local genclus.Model, import registers a copy byte-identically, a
+// job warm-starts from the imported model, and delete empties the registry.
+func TestSDKModelRegistry(t *testing.T) {
+	c := testDaemon(t, server.Config{Workers: 1})
+	ctx := t.Context()
+
+	net, _ := testNetwork(t, 20)
+	info, err := c.UploadNetwork(ctx, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.SubmitJob(ctx, client.JobSpec{NetworkID: info.ID, K: 2, Options: quickOpts(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitForResult(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+	status, err := c.JobStatus(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.ModelID == "" {
+		t.Fatal("finished job reports no model id")
+	}
+
+	models, err := c.ListModels(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 || models[0].ID != status.ModelID || models[0].JobID != job.ID {
+		t.Fatalf("registry listing wrong: %+v", models)
+	}
+	got, err := c.GetModel(ctx, status.ModelID)
+	if err != nil || got.K != 2 || got.Objects != 40 || got.Digest == "" {
+		t.Fatalf("get model: %+v, %v", got, err)
+	}
+
+	data, err := c.ExportModel(ctx, status.ModelID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exported snapshot is a complete local model: decode it and
+	// warm-start a local refit from the remote fit.
+	local, err := genclus.DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refit, err := local.Refit(net, genclus.DefaultOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refit.EMIterations <= 0 {
+		t.Fatal("local refit from exported snapshot did no work?")
+	}
+
+	imported, err := c.ImportModel(ctx, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported.Digest != got.Digest || imported.ID == got.ID {
+		t.Fatalf("imported entry wrong: %+v", imported)
+	}
+	reexport, err := c.ExportModel(ctx, imported.ID)
+	if err != nil || !bytes.Equal(reexport, data) {
+		t.Fatalf("re-export not byte-identical: %d vs %d bytes, %v", len(reexport), len(data), err)
+	}
+
+	// Warm-start a job from the imported model; it must converge faster
+	// than the cold fit and report its own fresh model.
+	warm, err := c.SubmitJob(ctx, client.JobSpec{NetworkID: info.ID, WarmStartFromModel: imported.ID, Options: quickOpts(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRes, err := c.WaitForResult(ctx, warm.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := c.JobResult(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRes.EMIterations >= coldRes.EMIterations {
+		t.Fatalf("warm start not faster: %d vs %d EM iterations", warmRes.EMIterations, coldRes.EMIterations)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Models != 3 { // cold fit + import + warm fit
+		t.Fatalf("health models = %d, want 3", h.Models)
+	}
+
+	for _, m := range []string{status.ModelID, imported.ID} {
+		if err := c.DeleteModel(ctx, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.DeleteModel(ctx, status.ModelID); !client.IsNotFound(err) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if models, err = c.ListModels(ctx); err != nil || len(models) != 1 {
+		t.Fatalf("registry after deletes: %+v, %v", models, err)
+	}
+
+	// Garbage import is a 400, surfaced as *APIError.
+	if _, err := c.ImportModel(ctx, []byte("junk")); err == nil {
+		t.Fatal("garbage import accepted")
+	} else {
+		var ae *client.APIError
+		if !errors.As(err, &ae) || ae.StatusCode != 400 {
+			t.Fatalf("garbage import error: %v", err)
+		}
+	}
+}
+
+// TestSDKErrJobEvicted pins the typed eviction error: polling a job the
+// TTL sweeper removed surfaces ErrJobEvicted (errors.Is) rather than a
+// generic 404, while a never-existed job stays a plain not-found.
+func TestSDKErrJobEvicted(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Workers:    1,
+		JobTTL:     100 * time.Millisecond,
+		SweepEvery: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()), client.WithPollInterval(5*time.Millisecond))
+	ctx := t.Context()
+
+	net, _ := testNetwork(t, 10)
+	info, err := c.UploadNetwork(ctx, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.SubmitJob(ctx, client.JobSpec{NetworkID: info.ID, K: 2, Options: quickOpts(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitForResult(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait out the TTL plus a couple of sweeps.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err = c.JobStatus(ctx, job.ID)
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never evicted")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !errors.Is(err, client.ErrJobEvicted) {
+		t.Fatalf("evicted status error: %v, want ErrJobEvicted", err)
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != 404 {
+		t.Fatalf("eviction must still be an *APIError 404: %v", err)
+	}
+
+	// WaitForResult surfaces it too (via its polling path).
+	if _, err := c.WaitForResult(ctx, job.ID); !errors.Is(err, client.ErrJobEvicted) {
+		t.Fatalf("WaitForResult on evicted job: %v, want ErrJobEvicted", err)
+	}
+
+	// Never-existed: plain 404, not ErrJobEvicted.
+	_, err = c.JobStatus(ctx, "job_never_existed")
+	if !client.IsNotFound(err) || errors.Is(err, client.ErrJobEvicted) {
+		t.Fatalf("unknown job error: %v", err)
+	}
+
+	// The fitted model survives eviction — the registry keeps serving it.
+	models, err := c.ListModels(ctx)
+	if err != nil || len(models) != 1 {
+		t.Fatalf("model registry after eviction: %+v, %v", models, err)
+	}
+}
+
+// TestSDKExportImportAcrossDaemons moves a model between two independent
+// daemons through the SDK — the portability path the snapshot format
+// exists for.
+func TestSDKExportImportAcrossDaemons(t *testing.T) {
+	a := testDaemon(t, server.Config{Workers: 1})
+	b := testDaemon(t, server.Config{Workers: 1})
+	ctx := context.Background()
+
+	net, _ := testNetwork(t, 15)
+	infoA, err := a.UploadNetwork(ctx, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := a.SubmitJob(ctx, client.JobSpec{NetworkID: infoA.ID, K: 2, Options: quickOpts(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.WaitForResult(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+	status, err := a.JobStatus(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := a.ExportModel(ctx, status.ModelID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	imported, err := b.ImportModel(ctx, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infoB, err := b.UploadNetwork(ctx, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := b.SubmitJob(ctx, client.JobSpec{NetworkID: infoB.ID, WarmStartFromModel: imported.ID, Options: quickOpts(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.WaitForResult(ctx, warm.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := a.JobResult(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EMIterations >= coldRes.EMIterations {
+		t.Fatalf("cross-daemon warm start not faster: %d vs %d EM iterations", res.EMIterations, coldRes.EMIterations)
+	}
+}

@@ -43,7 +43,8 @@ func (c *Client) StreamEvents(ctx context.Context, jobID string, fn func(Event) 
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return &APIError{StatusCode: resp.StatusCode, Message: errorMessage(data)}
+		msg, code := errorMessage(data)
+		return &APIError{StatusCode: resp.StatusCode, Message: msg, Code: code}
 	}
 
 	sc := bufio.NewScanner(resp.Body)

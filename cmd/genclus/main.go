@@ -6,6 +6,15 @@
 //
 //	genclus -in network.json -k 4 [-out result.json] [-attrs text,score]
 //	        [-outer 10] [-em 15] [-seed 1] [-parallel 1] [-fixed-gamma]
+//	        [-save-model model.gcsnap] [-from-model model.gcsnap]
+//
+// -save-model writes the fitted model as a binary snapshot — the portable
+// form of fitted state, importable into a genclusd model registry (curl
+// --data-binary @model.gcsnap .../v1/models/import) or reloadable here.
+// -from-model warm-starts the fit from a snapshot (a previous -save-model,
+// or a daemon export from GET /v1/models/{id}/export) instead of starting
+// cold: refitting an evolved network this way converges in a fraction of a
+// cold start's iterations.
 package main
 
 import (
@@ -52,6 +61,8 @@ func main() {
 		fixedGamma = flag.Bool("fixed-gamma", false, "freeze link-type strengths at 1 (ablation)")
 		history    = flag.Bool("history", false, "include per-iteration summaries in the output")
 		summary    = flag.Bool("summary", false, "print per-cluster summaries (sizes, top terms, component means) to stderr")
+		saveModel  = flag.String("save-model", "", "write the fitted model as a binary snapshot to this path")
+		fromModel  = flag.String("from-model", "", "warm-start the fit from a model snapshot (a -save-model file or a genclusd export)")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -75,9 +86,36 @@ func main() {
 		opts.Attributes = strings.Split(*attrs, ",")
 	}
 
-	res, err := genclus.Fit(net, opts)
-	if err != nil {
-		fatal(err)
+	var res *genclus.Model
+	if *fromModel != "" {
+		prior, err := genclus.LoadModel(*fromModel)
+		if err != nil {
+			fatal(err)
+		}
+		kSet := false
+		flag.Visit(func(f *flag.Flag) { kSet = kSet || f.Name == "k" })
+		if kSet && *k != prior.K {
+			fatal(fmt.Errorf("-k %d conflicts with model fitted at K=%d", *k, prior.K))
+		}
+		opts.K = 0 // inherit the snapshot's K
+		res, err = prior.Refit(net, opts)
+		if err != nil {
+			fatal(err)
+		}
+		*k = res.K
+	} else {
+		var err error
+		res, err = genclus.Fit(net, opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *saveModel != "" {
+		if err := genclus.SaveModel(*saveModel, res); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "genclus: wrote model snapshot %s\n", *saveModel)
 	}
 
 	if *summary {

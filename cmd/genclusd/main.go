@@ -2,12 +2,19 @@
 // daemon that accepts network uploads, fits GenClus models on an async job
 // queue with a bounded worker pool, streams fit progress over Server-Sent
 // Events (GET /v1/jobs/{id}/events), supports warm-starting a job from a
-// finished one (warm_start_from), and serves the fitted results.
+// finished one (warm_start_from) or from a registered model
+// (warm_start_from_model), and serves the fitted results and the
+// /v1/models snapshot registry.
 //
 // Usage:
 //
 //	genclusd [-addr :8080] [-workers N] [-queue 64] [-ttl 1h]
-//	         [-max-body 33554432]
+//	         [-max-body 33554432] [-data-dir DIR] [-max-models 1024]
+//
+// With -data-dir, fitted state is durable: every finished fit's model
+// snapshot and job record are written crash-safely under DIR before the job
+// reports done, and a restarted daemon — including one killed with SIGKILL —
+// recovers and serves them again. Without it the daemon is memory-only.
 //
 // The genclus/client package is the typed Go SDK for this daemon; see
 // README.md for it and for the raw HTTP API.
@@ -30,20 +37,32 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "concurrent fit workers (default: number of CPUs)")
-		queue   = flag.Int("queue", 64, "job queue depth (submissions beyond it get 503)")
-		ttl     = flag.Duration("ttl", time.Hour, "evict finished jobs and idle networks after this long")
-		maxBody = flag.Int64("max-body", 32<<20, "maximum request body size in bytes")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "concurrent fit workers (default: number of CPUs)")
+		queue     = flag.Int("queue", 64, "job queue depth (submissions beyond it get 503)")
+		ttl       = flag.Duration("ttl", time.Hour, "evict finished jobs and idle networks after this long")
+		maxBody   = flag.Int64("max-body", 32<<20, "maximum request body size in bytes")
+		dataDir   = flag.String("data-dir", "", "persist finished fits (model snapshots + job records) under this directory; empty = memory-only")
+		maxModels = flag.Int("max-models", 0, "cap on registered models; oldest evicted beyond it (default 1024)")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		JobTTL:       *ttl,
 		MaxBodyBytes: *maxBody,
+		DataDir:      *dataDir,
+		MaxModels:    *maxModels,
 	})
+	if err != nil {
+		log.Fatalf("genclusd: %v", err)
+	}
+	if *dataDir != "" {
+		rec := srv.Recovered()
+		log.Printf("genclusd: data dir %s: recovered %d models, %d finished jobs (%d artifacts skipped, %d orphan records dropped)",
+			*dataDir, rec.Models, rec.Jobs, rec.SkippedBlobs, rec.OrphanRecords)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

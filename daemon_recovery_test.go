@@ -1,0 +1,224 @@
+package genclus_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"genclus"
+	"genclus/client"
+)
+
+// recoveryNetwork builds a small two-topic network through the public API.
+func recoveryNetwork(t *testing.T, perTopic int) *genclus.Network {
+	t.Helper()
+	b := genclus.NewBuilder()
+	b.DeclareAttribute(genclus.AttrSpec{Name: "text", Kind: genclus.Categorical, VocabSize: 20})
+	ids := make([]string, 0, 2*perTopic)
+	for topic := 0; topic < 2; topic++ {
+		for i := 0; i < perTopic; i++ {
+			id := fmt.Sprintf("doc%d_%03d", topic, i)
+			ids = append(ids, id)
+			b.AddObject(id, "doc")
+			for w := 0; w < 8; w++ {
+				b.AddTermCount(id, "text", topic*10+(i+w)%10, 1)
+			}
+		}
+	}
+	for topic := 0; topic < 2; topic++ {
+		for i := 0; i < perTopic; i++ {
+			b.AddLink(ids[topic*perTopic+i], ids[topic*perTopic+(i+1)%perTopic], "cites", 1)
+		}
+	}
+	nw, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// startDaemon launches a genclusd binary and waits for /healthz.
+func startDaemon(t *testing.T, bin, addr, dataDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", addr, "-workers", "1", "-data-dir", dataDir)
+	var logs bytes.Buffer
+	cmd.Stdout = &logs
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+	c := client.New("http://" + addr)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_, err := c.Health(ctx)
+		cancel()
+		if err == nil {
+			return cmd
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon on %s never became healthy; logs:\n%s", addr, logs.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestDaemonKillRecover is the acceptance test for crash-safe persistence:
+// a real genclusd process fits a network with -data-dir, is killed with
+// SIGKILL (no shutdown path runs), and a fresh process on the same data dir
+// serves the finished job and model again — byte-identical snapshot export,
+// intact result, and a working warm_start_from_model against the recovered
+// state. The whole flow drives the daemon exclusively through the client
+// SDK, exactly as an external consumer would.
+func TestDaemonKillRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "genclusd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/genclusd")
+	build.Dir = "."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build genclusd: %v\n%s", err, out)
+	}
+
+	// Reserve a port, then free it for the daemon. The unlikely race of
+	// something else grabbing it in between fails loudly in startDaemon.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	dataDir := filepath.Join(dir, "data")
+	ctx := context.Background()
+	c := client.New("http://" + addr)
+
+	// Phase 1: fit, then SIGKILL.
+	proc := startDaemon(t, bin, addr, dataDir)
+	nw := recoveryNetwork(t, 20)
+	info, err := c.UploadNetwork(ctx, nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, em, seeds := 3, 5, 2
+	var seed int64 = 11
+	job, err := c.SubmitJob(ctx, client.JobSpec{NetworkID: info.ID, K: 2, Options: &client.JobOptions{
+		OuterIters: &outer, EMIters: &em, InitSeeds: &seeds, Seed: &seed,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result1, err := c.WaitForResult(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := c.JobStatus(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.ModelID == "" {
+		t.Fatal("finished job reports no model id")
+	}
+	export1, err := c.ExportModel(ctx, status.ModelID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := proc.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	state, err := proc.Process.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Success() {
+		t.Fatal("SIGKILLed daemon exited cleanly?")
+	}
+
+	// Phase 2: restart on the same data dir; the fit must still be there.
+	startDaemon(t, bin, addr, dataDir)
+
+	recovered, err := c.JobStatus(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("recovered job status: %v", err)
+	}
+	if recovered.State != client.StateDone || recovered.ModelID != status.ModelID {
+		t.Fatalf("recovered job wrong: %+v", recovered)
+	}
+	result2, err := c.JobResult(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result2.K != result1.K || len(result2.Objects) != len(result1.Objects) ||
+		result2.EMIterations != result1.EMIterations {
+		t.Fatalf("recovered result differs: %+v vs %+v", result2, result1)
+	}
+	for i, o := range result1.Objects {
+		r := result2.Objects[i]
+		if r.ID != o.ID || r.Type != o.Type || r.Cluster != o.Cluster {
+			t.Fatalf("recovered object %d differs: %+v vs %+v", i, r, o)
+		}
+		for k := range o.Theta {
+			if r.Theta[k] != o.Theta[k] {
+				t.Fatalf("recovered Theta[%d][%d] differs", i, k)
+			}
+		}
+	}
+
+	models, err := c.ListModels(ctx)
+	if err != nil || len(models) != 1 || models[0].ID != status.ModelID {
+		t.Fatalf("recovered registry: %+v, %v", models, err)
+	}
+	export2, err := c.ExportModel(ctx, status.ModelID)
+	if err != nil || !bytes.Equal(export2, export1) {
+		t.Fatalf("recovered export not byte-identical: %d vs %d bytes, %v", len(export2), len(export1), err)
+	}
+
+	// warm_start_from_model against the recovered snapshot: networks are
+	// not persisted (by design), so re-upload, then warm-start.
+	info2, err := c.UploadNetwork(ctx, nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := c.SubmitJob(ctx, client.JobSpec{NetworkID: info2.ID, WarmStartFromModel: status.ModelID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRes, err := c.WaitForResult(ctx, warm.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRes.K != result1.K {
+		t.Fatalf("warm start K drifted: %d vs %d", warmRes.K, result1.K)
+	}
+	if warmRes.EMIterations >= result1.EMIterations {
+		t.Fatalf("warm start from recovered model not faster: %d vs %d EM iterations",
+			warmRes.EMIterations, result1.EMIterations)
+	}
+
+	// The old job id resolving through a client error path still behaves:
+	// an unknown id is a plain 404, not ErrJobEvicted.
+	if _, err := c.JobStatus(ctx, "job_never_existed"); !client.IsNotFound(err) || errors.Is(err, client.ErrJobEvicted) {
+		t.Fatalf("unknown job after recovery: %v", err)
+	}
+
+	// Double-check nothing about recovery left the binary's stderr dirty
+	// enough to hide a panic (the daemon logs recovery stats on startup).
+	_ = os.Remove(bin)
+}

@@ -1,0 +1,89 @@
+// Persistence example: the fit-once, refit-anywhere workflow. A citation
+// network is clustered, the fitted model is saved as a binary snapshot (the
+// same format genclusd's /v1/models registry exports and imports and the
+// genclus CLI reads with -from-model), the snapshot is loaded back as if in
+// another process — or on another machine, days later — and a refit of a
+// grown network warm-starts from it in a fraction of the cold fit's EM
+// iterations. Because the codec is exact (floats cross as raw bits), the
+// refit from the loaded snapshot is bitwise-identical to one from the
+// original in-memory model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"genclus"
+)
+
+// build assembles a two-community citation network: perTopic papers per
+// community with disjoint vocabulary blocks and within-community citations,
+// plus extra papers appended after the (identical) base structure.
+func build(perTopic, extra int) *genclus.Network {
+	b := genclus.NewBuilder()
+	b.DeclareAttribute(genclus.AttrSpec{Name: "title", Kind: genclus.Categorical, VocabSize: 40})
+	add := func(topic, i int, tag string) string {
+		id := fmt.Sprintf("%s-t%d-%04d", tag, topic, i)
+		b.AddObject(id, "paper")
+		for w := 0; w < 10; w++ {
+			b.AddTermCount(id, "title", topic*20+(i+w)%20, 1)
+		}
+		return id
+	}
+	for topic := 0; topic < 2; topic++ {
+		ids := make([]string, perTopic)
+		for i := range ids {
+			ids[i] = add(topic, i, "paper")
+		}
+		for i, id := range ids {
+			b.AddLink(id, ids[(i+1)%perTopic], "cites", 1)
+			b.AddLink(id, ids[(i+5)%perTopic], "cites", 1)
+		}
+		for i := 0; i < extra; i++ {
+			id := add(topic, i, "new")
+			b.AddLink(id, ids[i%perTopic], "cites", 1)
+		}
+	}
+	net, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return net
+}
+
+func main() {
+	base := build(150, 0)
+	opts := genclus.DefaultOptions(2)
+	opts.EMTol, opts.OuterTol = 1e-6, 1e-6
+
+	model, err := genclus.Fit(base, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold fit: %d EM iterations, gamma=%.3f\n",
+		model.EMIterations, model.Gamma["cites"])
+
+	// Persist the fitted state and drop the in-memory model.
+	path := filepath.Join(os.TempDir(), "persist-example.gcsnap")
+	if err := genclus.SaveModel(path, model); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("saved snapshot: %d bytes\n", info.Size())
+
+	// "Another process": load the snapshot and refit the grown network.
+	loaded, err := genclus.LoadModel(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grown := build(150, 8)
+	refit, err := loaded.Refit(grown, genclus.DefaultOptions(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("warm refit of grown network: %d EM iterations (cold took %d)\n",
+		refit.EMIterations, model.EMIterations)
+	_ = os.Remove(path)
+}

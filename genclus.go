@@ -35,10 +35,15 @@
 package genclus
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
+
 	"genclus/internal/core"
 	"genclus/internal/datagen"
 	"genclus/internal/eval"
 	"genclus/internal/hin"
+	"genclus/internal/snapshot"
 )
 
 // Network is an immutable heterogeneous information network: typed objects,
@@ -147,6 +152,97 @@ func NewModel(res *Result, objectIDs []string) (*Model, error) {
 
 // Snapshot is one outer-iteration state when Options.TrackHistory is set.
 type Snapshot = core.Snapshot
+
+// SnapshotLimits bounds what DecodeModelLimited may allocate while reading
+// an untrusted model snapshot; see DefaultSnapshotLimits.
+type SnapshotLimits = snapshot.Limits
+
+// SnapshotFormatError reports a model snapshot rejected as malformed —
+// wrong magic, truncated sections, checksum mismatch, or out-of-domain
+// values (errors.As-distinguishable from SnapshotLimitError).
+type SnapshotFormatError = snapshot.FormatError
+
+// SnapshotLimitError reports a model snapshot rejected because a declared
+// dimension exceeds a SnapshotLimits bound.
+type SnapshotLimitError = snapshot.LimitError
+
+// DefaultSnapshotLimits is the bound DecodeModel and LoadModel apply:
+// generous enough for any model this library can fit in memory, tight
+// enough that a small hostile file cannot claim giant dimensions.
+func DefaultSnapshotLimits() SnapshotLimits { return snapshot.DefaultLimits() }
+
+// EncodeModel serializes a fitted model into the versioned binary snapshot
+// format — the portable form of fitted state: byte-identical for identical
+// models, self-checksummed, decodable by DecodeModel, importable into a
+// genclusd model registry (POST /v1/models/import or client.ImportModel),
+// and readable by the genclus CLI (-from-model). Result.History is not
+// persisted.
+func EncodeModel(m *Model) ([]byte, error) {
+	return snapshot.Encode(&snapshot.Snapshot{Model: m})
+}
+
+// DecodeModel parses a binary model snapshot (EncodeModel, a genclusd
+// export, or the CLI's -save-model), enforcing DefaultSnapshotLimits. The
+// returned Model warm-starts refits exactly like the model that produced
+// the snapshot: a Refit from it is bitwise-identical to one from the
+// original in-memory model.
+func DecodeModel(data []byte) (*Model, error) {
+	return DecodeModelLimited(data, DefaultSnapshotLimits())
+}
+
+// DecodeModelLimited is DecodeModel with caller-chosen bounds. A zero field
+// means "no limit" on that dimension.
+func DecodeModelLimited(data []byte, lim SnapshotLimits) (*Model, error) {
+	snap, err := snapshot.Decode(data, lim)
+	if err != nil {
+		return nil, err
+	}
+	return snap.Model, nil
+}
+
+// SaveModel writes a model's binary snapshot to a file (see EncodeModel).
+// The write is atomic — temp file in the same directory, then rename — so
+// a failure (full disk, crash) leaves any previous snapshot at path
+// intact rather than truncated.
+func SaveModel(path string, m *Model) error {
+	data, err := EncodeModel(m)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".gcsnap-*")
+	if err != nil {
+		return fmt.Errorf("genclus: write model %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("genclus: write model %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("genclus: write model %s: %w", path, err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("genclus: write model %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("genclus: write model %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadModel reads a binary model snapshot from a file, enforcing
+// DefaultSnapshotLimits (see DecodeModel).
+func LoadModel(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("genclus: read model %s: %w", path, err)
+	}
+	return DecodeModel(data)
+}
 
 // AttrModel is a fitted per-attribute component model.
 type AttrModel = core.AttrModel

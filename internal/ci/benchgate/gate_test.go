@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func i64p(v int64) *int64 { return &v }
+
+func TestGateRules(t *testing.T) {
+	base := map[string]entry{
+		"em-iteration/midsize": {NsPerOp: 1000, AllocsPerOp: i64p(0)},
+		"weather/cold":         {NsPerOp: 500},
+	}
+	cases := []struct {
+		name    string
+		current map[string]entry
+		want    string // substring of the first violation, "" = pass
+	}{
+		{"identical", map[string]entry{"em-iteration/midsize": {NsPerOp: 1000, AllocsPerOp: i64p(0)}}, ""},
+		{"within-threshold", map[string]entry{"em-iteration/midsize": {NsPerOp: 1249, AllocsPerOp: i64p(0)}}, ""},
+		{"faster", map[string]entry{"em-iteration/midsize": {NsPerOp: 600, AllocsPerOp: i64p(0)}}, ""},
+		{"ns-regression", map[string]entry{"em-iteration/midsize": {NsPerOp: 1300, AllocsPerOp: i64p(0)}}, "ns/op regressed"},
+		{"alloc-increase", map[string]entry{"em-iteration/midsize": {NsPerOp: 900, AllocsPerOp: i64p(1)}}, "allocs/op increased"},
+		{"allocs-vanished", map[string]entry{"em-iteration/midsize": {NsPerOp: 900}}, "records none"},
+		{"missing-current", map[string]entry{"other": {NsPerOp: 1}}, "missing from current"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := gate(base, tc.current, "em-iteration/midsize", 0.25)
+			if tc.want == "" {
+				if len(got) != 0 {
+					t.Fatalf("want pass, got %v", got)
+				}
+				return
+			}
+			if len(got) == 0 || !strings.Contains(got[0], tc.want) {
+				t.Fatalf("want violation containing %q, got %v", tc.want, got)
+			}
+		})
+	}
+
+	// A key absent from the baseline fails too (the gate must not silently
+	// pass a benchmark nobody committed a baseline for).
+	if got := gate(map[string]entry{}, base, "em-iteration/midsize", 0.25); len(got) == 0 || !strings.Contains(got[0], "missing from baseline") {
+		t.Fatalf("missing baseline: %v", got)
+	}
+
+	// Both regressions at once report both.
+	both := map[string]entry{"em-iteration/midsize": {NsPerOp: 5000, AllocsPerOp: i64p(3)}}
+	if got := gate(base, both, "em-iteration/midsize", 0.25); len(got) != 2 {
+		t.Fatalf("want 2 violations, got %v", got)
+	}
+}
+
+// TestLoadEntriesAgainstCommittedBaseline parses the real committed
+// BENCH_fit.json, so a format drift between the bench harness and the gate
+// fails here instead of silently in CI.
+func TestLoadEntriesAgainstCommittedBaseline(t *testing.T) {
+	entries, err := loadEntries(filepath.Join("..", "..", "..", "BENCH_fit.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := entries["em-iteration/midsize"]
+	if !ok {
+		t.Fatal("committed baseline lacks the gated key em-iteration/midsize")
+	}
+	if e.NsPerOp <= 0 {
+		t.Fatalf("committed baseline ns/op not positive: %+v", e)
+	}
+	if e.AllocsPerOp == nil || *e.AllocsPerOp != 0 {
+		t.Fatalf("committed baseline should pin 0 allocs/op: %+v", e)
+	}
+	// The committed file gates against itself (sanity: CI passes on an
+	// unchanged tree, modulo machine noise the threshold absorbs).
+	if got := gate(entries, entries, "em-iteration/midsize", 0.25); len(got) != 0 {
+		t.Fatalf("baseline does not pass against itself: %v", got)
+	}
+}
+
+func TestLoadEntriesErrors(t *testing.T) {
+	if _, err := loadEntries(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadEntries(bad); err == nil {
+		t.Fatal("unparsable file must error")
+	}
+}

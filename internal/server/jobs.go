@@ -56,6 +56,10 @@ type job struct {
 	errMsg   string
 	result   *core.Model
 	objects  []objectInfo
+	// modelID names the registry model this job's fitted state was
+	// published as (set just before the done transition; also restored by
+	// recovery).
+	modelID string
 	// subs are live progress subscriptions (the SSE events endpoint). Each
 	// channel has capacity 1 with drop-oldest delivery: a slow consumer
 	// only ever misses intermediate progress, never the latest.
@@ -79,6 +83,7 @@ type jobSnapshot struct {
 	errMsg            string
 	result            *core.Model
 	objects           []objectInfo
+	modelID           string
 	metrics           *resultMetrics
 	started, finished time.Time
 }
@@ -96,10 +101,18 @@ func (j *job) snapshot() jobSnapshot {
 		errMsg:   j.errMsg,
 		result:   j.result,
 		objects:  j.objects,
+		modelID:  j.modelID,
 		metrics:  j.metrics,
 		started:  j.started,
 		finished: j.finished,
 	}
+}
+
+// setModelID records the registry model the job's result was published as.
+func (j *job) setModelID(id string) {
+	j.mu.Lock()
+	j.modelID = id
+	j.mu.Unlock()
 }
 
 // subscribe registers a progress subscription; the caller must
@@ -169,6 +182,11 @@ type manager struct {
 	queue   chan *job
 	workers int
 	now     func() time.Time
+	// onDone, when set, runs on the worker goroutine after a successful
+	// fit's state is recorded on the job but before the done transition is
+	// published — the server hooks model registration and persistence here,
+	// so "done" already implies "durable".
+	onDone func(j *job, finished time.Time)
 
 	ctx  context.Context
 	stop context.CancelFunc
@@ -292,7 +310,11 @@ func (m *manager) run(j *job) {
 		j.objects = objects
 		j.metrics = metrics
 		j.mu.Unlock()
-		j.finish(jobDone, "", m.now())
+		finished := m.now()
+		if m.onDone != nil {
+			m.onDone(j, finished)
+		}
+		j.finish(jobDone, "", finished)
 	case errors.Is(err, context.Canceled):
 		msg := "cancelled"
 		if m.ctx.Err() != nil {

@@ -1,0 +1,252 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"genclus/internal/core"
+	"genclus/internal/snapshot"
+	diskstore "genclus/internal/store"
+)
+
+// The model registry: every finished fit (and every imported snapshot)
+// becomes an addressable model that outlives the job TTL. Models are the
+// durable half of the service — with -data-dir they survive restarts and
+// SIGKILL — and the warm-start substrate: a job submitted with
+// warm_start_from_model seeds its fit from a registered model exactly as
+// warm_start_from seeds it from a finished job, except the source never
+// expires. The registry caps itself at Config.MaxModels, evicting the
+// oldest snapshot (memory and disk) when a new registration overflows it.
+
+// modelEntry is one registered model: the in-memory fitted state plus the
+// identity and provenance the registry serves. The canonical snapshot bytes
+// are not retained in memory — export re-reads the data dir or re-encodes
+// (deterministically, so digest and bytes are stable either way).
+type modelEntry struct {
+	id      string
+	model   *core.Model
+	meta    map[string]string // snapshot meta (provenance; re-encoded verbatim)
+	created time.Time
+	digest  string // hex SHA-256 of the canonical snapshot bytes
+	size    int64  // canonical snapshot length in bytes
+
+	jobID     string // source job, "" for imported models
+	networkID string // source network, "" for imported models
+}
+
+// modelResponse is the registry's wire representation of one model.
+type modelResponse struct {
+	ID            string `json:"id"`
+	K             int    `json:"k"`
+	Objects       int    `json:"objects"`
+	JobID         string `json:"job_id,omitempty"`
+	NetworkID     string `json:"network_id,omitempty"`
+	Created       string `json:"created"`
+	Digest        string `json:"digest"`
+	SizeBytes     int64  `json:"size_bytes"`
+	OptionsDigest string `json:"options_digest,omitempty"`
+	EMIterations  int    `json:"em_iterations"`
+}
+
+// modelsResponse is the GET /v1/models body.
+type modelsResponse struct {
+	Models []modelResponse `json:"models"`
+}
+
+func (s *Server) modelResponse(e *modelEntry) modelResponse {
+	return modelResponse{
+		ID:            e.id,
+		K:             e.model.K,
+		Objects:       len(e.model.Theta),
+		JobID:         e.jobID,
+		NetworkID:     e.networkID,
+		Created:       e.created.UTC().Format(time.RFC3339Nano),
+		Digest:        e.digest,
+		SizeBytes:     e.size,
+		OptionsDigest: e.meta[metaOptionsDigest],
+		EMIterations:  e.model.EMIterations,
+	}
+}
+
+// snapshot meta keys the daemon records at export time.
+const (
+	metaCreated       = "created"
+	metaJobID         = "job_id"
+	metaNetworkID     = "network_id"
+	metaOptionsDigest = "options_digest"
+)
+
+// snapshotLimits derives the import trust-boundary caps from the server's
+// upload configuration: a snapshot may not claim more objects, attributes
+// or vocabulary than an uploaded network could, nor a K above the job cap.
+func (s *Server) snapshotLimits() snapshot.Limits {
+	lim := snapshot.DefaultLimits()
+	lim.MaxObjects = s.cfg.Limits.MaxObjects
+	lim.MaxK = s.cfg.MaxK
+	lim.MaxAttributes = s.cfg.Limits.MaxAttributes
+	lim.MaxVocab = s.cfg.Limits.MaxVocab
+	return lim
+}
+
+// registerModel encodes the fitted model, registers it in memory, persists
+// the snapshot when a data dir is configured, and applies the MaxModels
+// eviction. Returns the new entry. A failed disk write degrades to
+// memory-only registration (counted and logged via persistFailure) — the
+// model stays addressable until the next restart rather than vanishing
+// because a volume filled up.
+func (s *Server) registerModel(m *core.Model, meta map[string]string, created time.Time, jobID, networkID string) (*modelEntry, error) {
+	data, err := snapshot.Encode(&snapshot.Snapshot{Model: m, Meta: meta})
+	if err != nil {
+		return nil, err
+	}
+	e := &modelEntry{
+		id:        newID("mdl"),
+		model:     m,
+		meta:      meta,
+		created:   created,
+		digest:    snapshot.DataDigest(data),
+		size:      int64(len(data)),
+		jobID:     jobID,
+		networkID: networkID,
+	}
+	if s.blobs != nil {
+		if err := s.blobs.Put(bucketModels, e.id, data); err != nil {
+			s.persistFailure("persist model "+e.id, err)
+		}
+	}
+	s.admitModel(e)
+	return e, nil
+}
+
+// admitModel adds the entry to the registry and evicts overflow (memory and
+// disk) beyond Config.MaxModels, oldest first.
+func (s *Server) admitModel(e *modelEntry) {
+	for _, old := range s.store.addModel(e, s.cfg.MaxModels) {
+		if s.blobs != nil {
+			_ = s.blobs.Delete(bucketModels, old)
+		}
+	}
+}
+
+// exportBytes returns the canonical snapshot bytes for a registry entry:
+// the persisted file when a data dir is configured (falling back to
+// re-encoding if the file went missing), a fresh deterministic encoding
+// otherwise.
+func (s *Server) exportBytes(e *modelEntry) ([]byte, error) {
+	if s.blobs != nil {
+		data, err := s.blobs.Get(bucketModels, e.id)
+		if err == nil {
+			return data, nil
+		}
+		if !errors.Is(err, diskstore.ErrNotFound) {
+			var ce *diskstore.CorruptError
+			if !errors.As(err, &ce) {
+				return nil, err
+			}
+		}
+	}
+	return snapshot.Encode(&snapshot.Snapshot{Model: e.model, Meta: e.meta})
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	entries := s.store.listModels()
+	out := modelsResponse{Models: make([]modelResponse, 0, len(entries))}
+	for _, e := range entries {
+		out.Models = append(out.Models, s.modelResponse(e))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookupModel(w http.ResponseWriter, r *http.Request) (*modelEntry, bool) {
+	id := r.PathValue("id")
+	e, ok := s.store.model(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model %q", id)
+		return nil, false
+	}
+	return e, true
+}
+
+func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookupModel(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.modelResponse(e))
+}
+
+func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.store.deleteModel(id) {
+		writeError(w, http.StatusNotFound, "unknown model %q", id)
+		return
+	}
+	if s.blobs != nil {
+		if err := s.blobs.Delete(bucketModels, id); err != nil && !errors.Is(err, diskstore.ErrNotFound) {
+			// The registry entry is gone either way; surface the disk state
+			// so an operator notices a sick volume.
+			writeError(w, http.StatusInternalServerError, "model deleted from registry but not from disk: %v", err)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleExportModel(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookupModel(w, r)
+	if !ok {
+		return
+	}
+	data, err := s.exportBytes(e)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "export model: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.gcsnap", e.id))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleImportModel(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	snap, err := snapshot.Decode(data, s.snapshotLimits())
+	if err != nil {
+		code := http.StatusBadRequest
+		var lim *snapshot.LimitError
+		if errors.As(err, &lim) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	e := &modelEntry{
+		id:      newID("mdl"),
+		model:   snap.Model,
+		meta:    snap.Meta,
+		created: s.cfg.now(),
+		digest:  snapshot.DataDigest(data),
+		size:    int64(len(data)),
+		// job_id/network_id in the snapshot meta are provenance from the
+		// exporting process; they do not name jobs on THIS server, so the
+		// registry row leaves them blank and serves the meta digest only.
+	}
+	if s.blobs != nil {
+		// Persist the uploaded bytes verbatim: the decoder only accepts
+		// canonical encodings, so these are exactly the bytes a later
+		// export must return.
+		if err := s.blobs.Put(bucketModels, e.id, data); err != nil {
+			writeError(w, http.StatusInternalServerError, "persist model: %v", err)
+			return
+		}
+	}
+	s.admitModel(e)
+	writeJSON(w, http.StatusCreated, s.modelResponse(e))
+}

@@ -66,7 +66,10 @@ func parseSpecPaths(t *testing.T) map[string]bool {
 func TestOpenAPISpecCoversRoutes(t *testing.T) {
 	declared := parseSpecPaths(t)
 
-	srv := New(Config{})
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close()
 	registered := make(map[string]bool)
 	for _, rt := range srv.Routes() {

@@ -6,19 +6,28 @@
 //
 // The API surface (all request/response bodies are JSON):
 //
-//	POST   /v1/networks         upload a network (hin JSON format) → {id}
-//	POST   /v1/jobs             submit a fit     → {id, state}
-//	GET    /v1/jobs/{id}        job status and progress
-//	GET    /v1/jobs/{id}/result fitted model (409 until the job is done)
-//	GET    /v1/jobs/{id}/events live progress stream (Server-Sent Events)
-//	DELETE /v1/jobs/{id}        cancel a queued or running job
-//	GET    /healthz             liveness plus queue statistics
+//	POST   /v1/networks           upload a network (hin JSON format) → {id}
+//	POST   /v1/jobs               submit a fit     → {id, state}
+//	GET    /v1/jobs/{id}          job status and progress
+//	GET    /v1/jobs/{id}/result   fitted model (409 until the job is done)
+//	GET    /v1/jobs/{id}/events   live progress stream (Server-Sent Events)
+//	DELETE /v1/jobs/{id}          cancel a queued or running job
+//	GET    /v1/models             list registered models
+//	GET    /v1/models/{id}        model metadata
+//	DELETE /v1/models/{id}        delete a model (registry and disk)
+//	GET    /v1/models/{id}/export download the binary model snapshot
+//	POST   /v1/models/import      register an uploaded snapshot → metadata
+//	GET    /healthz               liveness plus queue statistics
 //
-// A job submission may name a finished job in warm_start_from: the new fit
-// is then warm-started from that job's fitted state (memberships by object
-// ID, strengths by relation name, attribute models by attribute name), so
-// re-clustering a grown or perturbed network converges in a fraction of a
-// cold start's iterations.
+// A job submission may name a finished job in warm_start_from, or a
+// registered model in warm_start_from_model: the new fit is then
+// warm-started from that fitted state (memberships by object ID, strengths
+// by relation name, attribute models by attribute name), so re-clustering a
+// grown or perturbed network converges in a fraction of a cold start's
+// iterations. Every finished fit is registered as a model automatically;
+// models — unlike jobs — are never TTL-evicted, and with Config.DataDir set
+// they (and finished jobs) survive restarts and SIGKILL (see
+// docs/ARCHITECTURE.md, "Persistence").
 //
 // The /v1 surface is additive-only: fields and endpoints may be added, but
 // existing request fields, response fields, and status codes keep their
@@ -37,10 +46,12 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"genclus/internal/core"
 	"genclus/internal/hin"
+	diskstore "genclus/internal/store"
 )
 
 // Config sizes the service. Zero fields take the documented defaults.
@@ -71,6 +82,15 @@ type Config struct {
 	MaxOuterIters int
 	MaxEMIters    int
 	MaxInitSeeds  int
+
+	// DataDir, when set, makes finished fits durable: model snapshots and
+	// job records are written crash-safely under it and replayed at
+	// startup, so a restarted (or SIGKILLed) daemon serves every fit that
+	// had reported done. Empty keeps everything in memory.
+	DataDir string
+	// MaxModels caps the model registry (default 1024); registering beyond
+	// it evicts the oldest models from memory and disk.
+	MaxModels int
 
 	// now is the test clock hook; nil means time.Now.
 	now func() time.Time
@@ -124,6 +144,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxInitSeeds <= 0 {
 		c.MaxInitSeeds = 1024
 	}
+	if c.MaxModels <= 0 {
+		c.MaxModels = 1024
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -138,32 +161,54 @@ type Server struct {
 	manager *manager
 	mux     *http.ServeMux
 	started time.Time
-	sweeper chan struct{} // closed by Close to stop the janitor
+	// blobs is the crash-safe on-disk store under Config.DataDir; nil when
+	// persistence is disabled.
+	blobs     *diskstore.Store
+	recovered RecoveryStats
+	// persistFailures counts degraded-durability events (failed snapshot or
+	// record writes); surfaced on /healthz so a sick volume is visible.
+	persistFailures atomic.Int64
+	sweeper         chan struct{} // closed by Close to stop the janitor
 	// draining closes when event streams must end (DrainStreams/Close).
 	// Without it, a live SSE connection would hold http.Server.Shutdown
 	// open for its whole timeout.
 	draining  chan struct{}
 	drainOnce sync.Once
+	closeOnce sync.Once
 }
 
-// New builds a Server and starts its worker pool and eviction janitor.
-func New(cfg Config) *Server {
+// New builds a Server, replays Config.DataDir (when set) into the job table
+// and model registry, and starts the worker pool and eviction janitor. It
+// fails only on an unusable data dir — per-artifact recovery problems are
+// skipped and counted in Recovered instead.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	st := newStore(cfg.JobTTL, cfg.now)
 	s := &Server{
 		cfg:      cfg,
 		store:    st,
-		manager:  newManager(st, cfg.Workers, cfg.QueueDepth, cfg.now),
 		mux:      http.NewServeMux(),
 		started:  cfg.now(),
 		sweeper:  make(chan struct{}),
 		draining: make(chan struct{}),
 	}
+	if cfg.DataDir != "" {
+		blobs, err := diskstore.Open(cfg.DataDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: open data dir: %w", err)
+		}
+		s.blobs = blobs
+		if err := s.recoverFromDisk(); err != nil {
+			return nil, fmt.Errorf("server: recover data dir: %w", err)
+		}
+	}
+	s.manager = newManager(st, cfg.Workers, cfg.QueueDepth, cfg.now)
+	s.manager.onDone = s.persistFinishedJob
 	for _, rt := range s.routes() {
 		s.mux.HandleFunc(rt.Method+" "+rt.Path, rt.handler)
 	}
 	go s.janitor()
-	return s
+	return s, nil
 }
 
 // Route is one registered endpoint: an HTTP method plus a net/http pattern
@@ -186,6 +231,11 @@ func (s *Server) routes() []Route {
 		{Method: "GET", Path: "/v1/jobs/{id}/result", handler: s.handleJobResult},
 		{Method: "GET", Path: "/v1/jobs/{id}/events", handler: s.handleJobEvents},
 		{Method: "DELETE", Path: "/v1/jobs/{id}", handler: s.handleCancelJob},
+		{Method: "GET", Path: "/v1/models", handler: s.handleListModels},
+		{Method: "POST", Path: "/v1/models/import", handler: s.handleImportModel},
+		{Method: "GET", Path: "/v1/models/{id}", handler: s.handleGetModel},
+		{Method: "DELETE", Path: "/v1/models/{id}", handler: s.handleDeleteModel},
+		{Method: "GET", Path: "/v1/models/{id}/export", handler: s.handleExportModel},
 		{Method: "GET", Path: "/healthz", handler: s.handleHealthz},
 	}
 }
@@ -211,10 +261,13 @@ func (s *Server) DrainStreams() {
 
 // Close stops the janitor and the worker pool, cancelling running fits,
 // ending live event streams, and waiting for worker goroutines to exit.
+// Idempotent.
 func (s *Server) Close() {
-	s.DrainStreams()
-	close(s.sweeper)
-	s.manager.close()
+	s.closeOnce.Do(func() {
+		s.DrainStreams()
+		close(s.sweeper)
+		s.manager.close()
+	})
 }
 
 func (s *Server) janitor() {
@@ -225,16 +278,26 @@ func (s *Server) janitor() {
 		case <-s.sweeper:
 			return
 		case <-t.C:
-			s.store.sweep()
+			for _, id := range s.store.sweep() {
+				s.dropPersistedJob(id)
+			}
 		}
 	}
 }
 
 // ---- wire types ----
 
+// errorResponse carries the human-readable error and, for conditions a
+// client should distinguish programmatically, a stable machine-readable
+// code (currently only "job_evicted": the job existed but outlived its
+// TTL, as opposed to never having existed).
 type errorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
+
+// codeJobEvicted is the error code for 404s on TTL-evicted jobs.
+const codeJobEvicted = "job_evicted"
 
 type networkResponse struct {
 	ID         string   `json:"id"`
@@ -244,18 +307,20 @@ type networkResponse struct {
 	Attributes []string `json:"attributes"`
 }
 
-// jobRequest is a fit submission. K is required unless warm_start_from is
-// set (in which case it defaults to — and must match — the prior fit's K);
-// every Options field is optional and overlays core.DefaultOptions(K).
-// Truth optionally maps object IDs to ground-truth cluster labels, enabling
-// eval metrics on the result. WarmStartFrom names a finished job whose
-// fitted state seeds this fit.
+// jobRequest is a fit submission. K is required unless warm_start_from or
+// warm_start_from_model is set (in which case it defaults to — and must
+// match — the source fit's K); every Options field is optional and overlays
+// core.DefaultOptions(K). Truth optionally maps object IDs to ground-truth
+// cluster labels, enabling eval metrics on the result. WarmStartFrom names
+// a finished job — and WarmStartFromModel a registry model — whose fitted
+// state seeds this fit; the two are mutually exclusive.
 type jobRequest struct {
-	NetworkID     string         `json:"network_id"`
-	K             int            `json:"k"`
-	Options       *jobOptions    `json:"options,omitempty"`
-	Truth         map[string]int `json:"truth,omitempty"`
-	WarmStartFrom string         `json:"warm_start_from,omitempty"`
+	NetworkID          string         `json:"network_id"`
+	K                  int            `json:"k"`
+	Options            *jobOptions    `json:"options,omitempty"`
+	Truth              map[string]int `json:"truth,omitempty"`
+	WarmStartFrom      string         `json:"warm_start_from,omitempty"`
+	WarmStartFromModel string         `json:"warm_start_from_model,omitempty"`
 }
 
 type jobOptions struct {
@@ -332,9 +397,13 @@ type jobResponse struct {
 	State     jobState          `json:"state"`
 	Progress  *progressResponse `json:"progress,omitempty"`
 	Error     string            `json:"error,omitempty"`
-	Created   string            `json:"created"`
-	Started   string            `json:"started,omitempty"`
-	Finished  string            `json:"finished,omitempty"`
+	// ModelID names the registry model the finished fit was published as
+	// (state "done" only) — the handle for /v1/models and
+	// warm_start_from_model.
+	ModelID  string `json:"model_id,omitempty"`
+	Created  string `json:"created"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
 }
 
 type objectResult struct {
@@ -363,7 +432,12 @@ type healthResponse struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Workers       int              `json:"workers"`
 	Networks      int              `json:"networks"`
+	Models        int              `json:"models"`
 	Jobs          map[jobState]int `json:"jobs"`
+	// PersistFailures counts fits whose snapshot or record failed to reach
+	// the data dir (served memory-only until restart). Nonzero means the
+	// durability contract is degraded — check the volume and the logs.
+	PersistFailures int64 `json:"persist_failures"`
 }
 
 // ---- handlers ----
@@ -376,6 +450,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeErrorCode is writeError with a machine-readable error code attached.
+func writeErrorCode(w http.ResponseWriter, code int, apiCode, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...), Code: apiCode})
 }
 
 // readBody drains a size-capped request body, mapping an overflow to 413.
@@ -455,10 +534,18 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if procs := runtime.GOMAXPROCS(0); opts.Parallelism > procs {
 		opts.Parallelism = procs
 	}
+	if req.WarmStartFrom != "" && req.WarmStartFromModel != "" {
+		writeError(w, http.StatusBadRequest, "warm_start_from and warm_start_from_model are mutually exclusive")
+		return
+	}
 	if req.WarmStartFrom != "" {
 		prior, ok := s.store.job(req.WarmStartFrom)
 		if !ok {
-			writeError(w, http.StatusNotFound, "unknown warm-start job %q", req.WarmStartFrom)
+			if s.store.jobEvicted(req.WarmStartFrom) {
+				writeErrorCode(w, http.StatusNotFound, codeJobEvicted, "warm-start job %q was evicted after its TTL", req.WarmStartFrom)
+			} else {
+				writeError(w, http.StatusNotFound, "unknown warm-start job %q", req.WarmStartFrom)
+			}
 			return
 		}
 		snap := prior.snapshot()
@@ -469,6 +556,19 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		// opts.K is req.K: 0 inherits the prior fit's K, otherwise it
 		// must match (RefitOptions rejects a mismatch).
 		warm, err := snap.result.RefitOptions(net, opts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "warm start: %v", err)
+			return
+		}
+		opts = warm
+	}
+	if req.WarmStartFromModel != "" {
+		entry, ok := s.store.model(req.WarmStartFromModel)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown warm-start model %q", req.WarmStartFromModel)
+			return
+		}
+		warm, err := entry.model.RefitOptions(net, opts)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "warm start: %v", err)
 			return
@@ -552,7 +652,11 @@ func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) 
 	id := r.PathValue("id")
 	j, ok := s.store.job(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		if s.store.jobEvicted(id) {
+			writeErrorCode(w, http.StatusNotFound, codeJobEvicted, "job %q was evicted after its TTL", id)
+		} else {
+			writeError(w, http.StatusNotFound, "unknown job %q", id)
+		}
 		return nil, false
 	}
 	return j, true
@@ -565,6 +669,7 @@ func (s *Server) jobResponse(j *job) jobResponse {
 		NetworkID: j.networkID,
 		State:     snap.state,
 		Error:     snap.errMsg,
+		ModelID:   snap.modelID,
 		Created:   j.created.UTC().Format(time.RFC3339Nano),
 	}
 	if snap.state != jobQueued {
@@ -632,10 +737,12 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthResponse{
-		Status:        "ok",
-		UptimeSeconds: s.cfg.now().Sub(s.started).Seconds(),
-		Workers:       s.cfg.Workers,
-		Networks:      s.store.numNetworks(),
-		Jobs:          s.store.jobCounts(),
+		Status:          "ok",
+		UptimeSeconds:   s.cfg.now().Sub(s.started).Seconds(),
+		Workers:         s.cfg.Workers,
+		Networks:        s.store.numNetworks(),
+		Models:          s.store.numModels(),
+		Jobs:            s.store.jobCounts(),
+		PersistFailures: s.persistFailures.Load(),
 	})
 }

@@ -63,7 +63,10 @@ func testNetworkJSON(t *testing.T, perTopic int, seed int64) ([]byte, map[string
 // the test.
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -495,7 +498,10 @@ func TestTTLPinsNetworkWithQueuedJob(t *testing.T) {
 // queued must move them to a terminal state (and close their done
 // channels) rather than stranding them as "queued" forever.
 func TestCloseFailsOverQueuedJobs(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 8})
+	s, err := New(Config{Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

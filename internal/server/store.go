@@ -3,6 +3,7 @@ package server
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"sort"
 	"sync"
 	"time"
 
@@ -24,24 +25,32 @@ type networkEntry struct {
 	lastUsed time.Time
 }
 
-// store holds uploaded networks and jobs in memory. Finished jobs and idle
-// networks are evicted once they outlive the TTL (sweep); networks stay
-// pinned while a queued or running job references them.
+// store holds uploaded networks, jobs and registered models in memory.
+// Finished jobs and idle networks are evicted once they outlive the TTL
+// (sweep); networks stay pinned while a queued or running job references
+// them. Models are never TTL-evicted — only DELETE and the MaxModels
+// overflow cap remove them. Evicted job ids leave tombstones behind
+// (bounded to a few TTLs) so the API can tell "evicted" from "never
+// existed".
 type store struct {
 	ttl time.Duration
 	now func() time.Time
 
-	mu       sync.Mutex
-	networks map[string]*networkEntry
-	jobs     map[string]*job
+	mu          sync.Mutex
+	networks    map[string]*networkEntry
+	jobs        map[string]*job
+	models      map[string]*modelEntry
+	evictedJobs map[string]time.Time
 }
 
 func newStore(ttl time.Duration, now func() time.Time) *store {
 	return &store{
-		ttl:      ttl,
-		now:      now,
-		networks: make(map[string]*networkEntry),
-		jobs:     make(map[string]*job),
+		ttl:         ttl,
+		now:         now,
+		networks:    make(map[string]*networkEntry),
+		jobs:        make(map[string]*job),
+		models:      make(map[string]*modelEntry),
+		evictedJobs: make(map[string]time.Time),
 	}
 }
 
@@ -80,17 +89,24 @@ func (st *store) job(id string) (*job, bool) {
 }
 
 // sweep evicts finished jobs whose results outlived the TTL and networks
-// idle past the TTL that no pending job still needs.
-func (st *store) sweep() {
+// idle past the TTL that no pending job still needs, leaving a tombstone
+// per evicted job. It returns the evicted job ids so the caller can drop
+// their persisted records. Tombstones themselves expire after four TTLs —
+// long enough that a client polling on the job's own timescale sees the
+// typed eviction answer, bounded so the set cannot grow with service age.
+func (st *store) sweep() []string {
 	now := st.now()
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	var evicted []string
 	pinned := make(map[string]bool)
 	for id, j := range st.jobs {
 		snap := j.snapshot()
 		if snap.terminal() {
 			if now.Sub(snap.finished) > st.ttl {
 				delete(st.jobs, id)
+				st.evictedJobs[id] = now
+				evicted = append(evicted, id)
 			}
 			continue
 		}
@@ -101,6 +117,86 @@ func (st *store) sweep() {
 			delete(st.networks, id)
 		}
 	}
+	for id, at := range st.evictedJobs {
+		if now.Sub(at) > 4*st.ttl {
+			delete(st.evictedJobs, id)
+		}
+	}
+	return evicted
+}
+
+// jobEvicted reports whether a job id was TTL-evicted recently enough that
+// its tombstone survives.
+func (st *store) jobEvicted(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.evictedJobs[id]
+	return ok
+}
+
+// addModel registers a model. When maxModels > 0 and the registry
+// overflows, the oldest entries are evicted and their ids returned so the
+// caller can drop their snapshots from disk.
+func (st *store) addModel(e *modelEntry, maxModels int) []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.models[e.id] = e
+	var evicted []string
+	for maxModels > 0 && len(st.models) > maxModels {
+		oldestID := ""
+		var oldest time.Time
+		for id, m := range st.models {
+			if oldestID == "" || m.created.Before(oldest) || (m.created.Equal(oldest) && id < oldestID) {
+				oldestID, oldest = id, m.created
+			}
+		}
+		delete(st.models, oldestID)
+		evicted = append(evicted, oldestID)
+	}
+	return evicted
+}
+
+// model fetches a registered model.
+func (st *store) model(id string) (*modelEntry, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.models[id]
+	return e, ok
+}
+
+// deleteModel removes a model from the registry, reporting whether it
+// existed.
+func (st *store) deleteModel(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.models[id]
+	delete(st.models, id)
+	return ok
+}
+
+// listModels returns every registered model, newest first (ties broken by
+// id so the order is deterministic).
+func (st *store) listModels() []*modelEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*modelEntry, 0, len(st.models))
+	for _, e := range st.models {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].created.Equal(out[j].created) {
+			return out[i].created.After(out[j].created)
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// numModels counts registered models for /healthz.
+func (st *store) numModels() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.models)
 }
 
 // jobCounts tallies jobs by state for /healthz.

@@ -1,0 +1,37 @@
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"genclus/internal/core"
+)
+
+// OptionsDigest returns a short, stable hex digest of the fit-relevant
+// scalar configuration of opts — everything that shapes the optimization
+// except the warm-start payloads and runtime hooks (InitTheta, InitGamma,
+// InitAttrs, Progress, Parallelism and TrackHistory are excluded: they do
+// not change what model the options describe). Two fits with the same
+// digest ran the same algorithm configuration, which is what the model
+// registry records so a warm-start consumer can tell whether a snapshot's
+// hyperparameters match its own.
+func OptionsDigest(opts core.Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v1|k=%d|attrs=%s|outer=%d|em=%d|emtol=%g|outertol=%g|newton=%d|newtontol=%g|sigma=%g|seed=%d|seeds=%d|seedsteps=%d|eps=%g|eta=%g|varfloor=%g|learn=%t|g0=%g|sym=%t",
+		opts.K, strings.Join(opts.Attributes, ","), opts.OuterIters, opts.EMIters,
+		opts.EMTol, opts.OuterTol, opts.NewtonIters, opts.NewtonTol, opts.PriorSigma,
+		opts.Seed, opts.InitSeeds, opts.InitSeedSteps, opts.Epsilon, opts.SmoothEta,
+		opts.VarFloor, opts.LearnGamma, opts.InitialGamma, opts.SymmetricPropagation)
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// DataDigest returns the hex SHA-256 of encoded snapshot bytes — the
+// content identity the model registry lists next to each model. Because
+// encoding is deterministic and decoding only accepts canonical input, a
+// model's digest is stable across export, import, and re-export.
+func DataDigest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,108 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"genclus/internal/core"
+)
+
+// fuzzLimits keeps hostile inputs from exploding memory during fuzzing —
+// the same mechanism that shields the genclusd /v1/models/import endpoint.
+var fuzzLimits = Limits{
+	MaxObjects:    2000,
+	MaxK:          64,
+	MaxRelations:  64,
+	MaxAttributes: 16,
+	MaxVocab:      4096,
+	MaxMetaPairs:  32,
+	MaxStringLen:  1024,
+}
+
+// fuzzSeedSnapshot builds a small valid snapshot to seed the corpus.
+func fuzzSeedSnapshot(f *testing.F) []byte {
+	f.Helper()
+	res := &core.Result{
+		K:        2,
+		Theta:    [][]float64{{0.25, 0.75}, {0.5, 0.5}, {0.9, 0.1}},
+		Gamma:    map[string]float64{"cites": 1.5, "writes": 0.25},
+		GammaVec: []float64{1.5, 0.25},
+		Attrs: []core.AttrModel{
+			{Name: "text", Kind: 0, Cat: &core.CatParams{Beta: [][]float64{{0.5, 0.5}, {0.1, 0.9}}}},
+			{Name: "score", Kind: 1, Gauss: &core.GaussParams{Mu: []float64{0, 8}, Var: []float64{1, 2}}},
+		},
+		Objective:       -12.5,
+		PseudoLL:        -3.25,
+		EMIterations:    17,
+		OuterIterations: 3,
+	}
+	m, err := core.NewModel(res, []string{"a", "b", "c"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc, err := Encode(&Snapshot{Model: m, Meta: map[string]string{"job_id": "job_1", "network_id": "net_1"}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return enc
+}
+
+// FuzzDecodeSnapshot hammers the binary codec's trust boundary: any byte
+// slice must either fail with a typed error or decode into a snapshot whose
+// re-encoding reproduces the input exactly. Panics, OOM (the limits are
+// tight and allocation is incremental), and canonical-form drift are the
+// bugs being hunted. CI runs this as a 30s smoke pass next to the network
+// decoder fuzz.
+func FuzzDecodeSnapshot(f *testing.F) {
+	valid := fuzzSeedSnapshot(f)
+	f.Add(valid)
+
+	// Corrupt headers.
+	bad := append([]byte(nil), valid...)
+	bad[0] = 'X'
+	f.Add(bad)
+	bad = append([]byte(nil), valid...)
+	bad[4] = 0xFF // future version
+	f.Add(bad)
+
+	// Truncated sections.
+	f.Add(valid[:8])
+	f.Add(valid[:len(valid)/3])
+	f.Add(valid[:len(valid)-3])
+
+	// Oversized dims: header + huge meta count.
+	huge := []byte(Magic)
+	huge = append(huge, 1, 0, 0, 0) // version 1, flags 0
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], math.MaxUint32)
+	f.Add(append(huge, tmp[:n]...))
+
+	// Checksum flip and trailing garbage.
+	bad = append([]byte(nil), valid...)
+	bad[len(bad)-1] ^= 0xff
+	f.Add(bad)
+	f.Add(append(append([]byte(nil), valid...), 0x00))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(data, fuzzLimits)
+		if err != nil {
+			if _, ok := err.(*FormatError); ok {
+				return
+			}
+			if _, ok := err.(*LimitError); ok {
+				return
+			}
+			t.Fatalf("decode failed with untyped error %T: %v", err, err)
+		}
+		re, err := Encode(snap)
+		if err != nil {
+			t.Fatalf("accepted snapshot fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted input is not canonical: decode/encode changed %d bytes to %d", len(data), len(re))
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"testing"
+
+	"genclus/internal/core"
+)
+
+// thetaChecksum hashes the exact bits of a membership matrix plus the dense
+// strength vector — the same bitwise-identity notion the core golden tests
+// pin.
+func thetaChecksum(t *testing.T, res *core.Result) string {
+	t.Helper()
+	h := sha256.New()
+	var buf [8]byte
+	for _, row := range res.Theta {
+		for _, x := range row {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+			h.Write(buf[:])
+		}
+	}
+	for _, g := range res.GammaVec {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(g))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// TestRefitFromImportedSnapshotBitwiseIdentical is the acceptance pin for
+// the persistence tentpole: a refit warm-started from a snapshot that
+// crossed the codec must be bitwise-identical to one warm-started from the
+// in-memory model — at serial and parallel EM alike. If this drifts, a
+// model recovered from disk (or imported over /v1/models) silently fits
+// differently from the one that produced it.
+func TestRefitFromImportedSnapshotBitwiseIdentical(t *testing.T) {
+	base := fitNetwork(t, 12, 0)
+	grown := fitNetwork(t, 12, 2) // same base prefix plus 4 new objects
+	m := fitModel(t, base)
+
+	enc, err := Encode(&Snapshot{Model: m, Meta: map[string]string{"origin": "test"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported, err := Decode(enc, DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, par := range []int{1, 4} {
+		opts := core.DefaultOptions(0) // K inherited from the model
+		opts.K = 0
+		opts.OuterIters = 3
+		opts.EMIters = 5
+		opts.Parallelism = par
+
+		fromMemory, err := m.Refit(grown, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromSnapshot, err := imported.Model.Refit(grown, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, snap := thetaChecksum(t, fromMemory.Result), thetaChecksum(t, fromSnapshot.Result)
+		if mem != snap {
+			t.Fatalf("parallelism %d: refit from imported snapshot diverged: %s vs %s", par, snap, mem)
+		}
+		if fromMemory.EMIterations != fromSnapshot.EMIterations {
+			t.Fatalf("parallelism %d: EM work diverged: %d vs %d", par, fromMemory.EMIterations, fromSnapshot.EMIterations)
+		}
+	}
+
+	// And the two parallelism settings agree with each other (the core
+	// determinism contract composed with the codec).
+	opts := core.DefaultOptions(0)
+	opts.K = 0
+	opts.OuterIters = 3
+	opts.EMIters = 5
+	opts.Parallelism = 1
+	serial, err := imported.Model.Refit(grown, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 4
+	parallel, err := imported.Model.Refit(grown, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := thetaChecksum(t, serial.Result), thetaChecksum(t, parallel.Result); a != b {
+		t.Fatalf("imported-snapshot refit not parallelism-invariant: %s vs %s", a, b)
+	}
+}
