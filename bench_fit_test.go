@@ -210,6 +210,70 @@ func BenchmarkFitRefit(b *testing.B) {
 	}, out)
 }
 
+// BenchmarkAssignBatch measures the online inference subsystem's steady
+// state: one engine pass over a 64-query batch — each query a realistic
+// mix of links into the known network and a sparse text observation —
+// against a model fitted on the mid-size two-topic citation network.
+// Allocations are the headline: after the first pass sizes the engine's
+// arena, AssignBatch must stay at 0 allocs/op
+// (TestAssignBatchSteadyStateZeroAlloc pins the same invariant as a
+// test). The measurement lands in BENCH_fit.json under
+// "assign-batch/midsize" and is enforced by the CI bench-regression gate.
+func BenchmarkAssignBatch(b *testing.B) {
+	net := benchDocNet(b, 250, 0)
+	opts := genclus.DefaultOptions(2)
+	opts.OuterIters = 5
+	opts.EMIters = 10
+	opts.EMTol = 1e-6
+	opts.Seed = 1
+	model, err := genclus.Fit(net, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := genclus.NewAssigner(model, genclus.AssignOptions{TopK: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 64 queries rebuilt from training objects: two citation links plus the
+	// object's sparse term counts, presented by ID like real traffic.
+	queries := make([]genclus.AssignQuery, 64)
+	for i := range queries {
+		v := (i * 7) % net.NumObjects()
+		q := genclus.AssignQuery{ID: net.Object(v).ID}
+		for _, e := range net.OutEdges(v) {
+			q.Links = append(q.Links, genclus.AssignLink{
+				Relation: net.RelationName(e.Rel),
+				To:       net.Object(e.To).ID,
+				Weight:   e.Weight,
+			})
+		}
+		if tcs := net.TermCounts(0, v); len(tcs) > 0 {
+			q.Terms = []genclus.AssignCatObs{{Attr: "text", Terms: tcs}}
+		}
+		queries[i] = q
+	}
+	run := func() {
+		if _, err := eng.AssignBatch(queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm-up sizes the arena
+	allocs := int64(testing.AllocsPerRun(5, run))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.StopTimer()
+	nsPerOp := int64(0)
+	if b.N > 0 {
+		nsPerOp = b.Elapsed().Nanoseconds() / int64(b.N)
+	}
+	mergeBenchFile(b, func(key string) bool { return strings.HasPrefix(key, "assign-batch/") }, map[string]benchFitEntry{
+		"assign-batch/midsize": {NsPerOp: nsPerOp, Iterations: b.N, AllocsPerOp: &allocs},
+	})
+}
+
 // BenchmarkEMIteration measures one steady-state E+M pass of the EM hot
 // path on the mid-size synthetic network (4000 objects, ~24k links, two
 // relations, K=4) — the number the CSR link storage and the preallocated

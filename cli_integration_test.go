@@ -147,6 +147,84 @@ func TestCLIPipeline(t *testing.T) {
 		t.Error("genclus with corrupt model snapshot should fail")
 	}
 
+	// 2c. Offline scoring: fold new objects into the saved snapshot with
+	// -assign — no network, no fit, just the model file and a queries file.
+	queriesPath := filepath.Join(dir, "queries.json")
+	assignPath := filepath.Join(dir, "assign.json")
+	relName := ""
+	for name := range result.Gamma {
+		relName = name
+		break
+	}
+	queries := map[string]any{
+		"top_k": 2,
+		"objects": []map[string]any{
+			{"id": "newbie", "links": []map[string]any{{"rel": relName, "to": result.Objects[0].ID, "w": 1}}},
+			{"id": "empty"},
+		},
+	}
+	queryData, err := json.Marshal(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(queriesPath, queryData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run(genclusBin, "-from-model", modelPath, "-assign", queriesPath, "-out", assignPath)
+	var assigned struct {
+		K           int `json:"k"`
+		Assignments []struct {
+			ID      string    `json:"id"`
+			Cluster int       `json:"cluster"`
+			Theta   []float64 `json:"theta"`
+			Top     []struct {
+				Cluster int     `json:"cluster"`
+				P       float64 `json:"p"`
+			} `json:"top"`
+			FoldInIters int `json:"fold_in_iters"`
+		} `json:"assignments"`
+	}
+	assignData, err := os.ReadFile(assignPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(assignData, &assigned); err != nil {
+		t.Fatal(err)
+	}
+	if assigned.K != 4 || len(assigned.Assignments) != 2 {
+		t.Fatalf("assign output shape wrong: K=%d n=%d", assigned.K, len(assigned.Assignments))
+	}
+	newbie, empty := assigned.Assignments[0], assigned.Assignments[1]
+	if newbie.ID != "newbie" || len(newbie.Theta) != 4 || len(newbie.Top) != 2 || newbie.FoldInIters < 1 {
+		t.Fatalf("newbie assignment malformed: %+v", newbie)
+	}
+	if newbie.Top[0].Cluster != newbie.Cluster {
+		t.Fatalf("newbie top list %+v disagrees with cluster %d", newbie.Top, newbie.Cluster)
+	}
+	for _, x := range empty.Theta {
+		if x != 0.25 {
+			t.Fatalf("information-free object posterior %v, want uniform", empty.Theta)
+		}
+	}
+	// -assign without -from-model fails.
+	if err := exec.Command(genclusBin, "-assign", queriesPath).Run(); err == nil {
+		t.Error("genclus -assign without -from-model should fail")
+	}
+	// Fit-only flags conflict with -assign instead of being silently
+	// dropped (a -save-model here would never be written).
+	if err := exec.Command(genclusBin, "-from-model", modelPath, "-assign", queriesPath,
+		"-k", "4", "-save-model", filepath.Join(dir, "never.gcsnap")).Run(); err == nil {
+		t.Error("genclus -assign with fit-only flags should fail")
+	}
+	// An unresolvable query fails cleanly, not with a panic.
+	badQueries := filepath.Join(dir, "badq.json")
+	if err := os.WriteFile(badQueries, []byte(`{"objects":[{"links":[{"rel":"ghost","to":"nope","w":1}]}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Command(genclusBin, "-from-model", modelPath, "-assign", badQueries).Run(); err == nil {
+		t.Error("genclus -assign with unresolvable query should fail")
+	}
+
 	// 3. The experiments tool lists its registry.
 	listing := string(run(experimentsBin, "-list"))
 	for _, id := range []string{"fig5", "table5", "parallel", "selectk"} {

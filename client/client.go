@@ -159,6 +159,7 @@ type JobOptions struct {
 	LearnGamma           *bool    `json:"learn_gamma,omitempty"`           // false freezes γ at the initial vector
 	InitialGamma         *float64 `json:"initial_gamma,omitempty"`         // uniform starting strength (0 means 1)
 	SymmetricPropagation *bool    `json:"symmetric_propagation,omitempty"` // propagate along in-links too (ablation)
+	Epsilon              *float64 `json:"epsilon,omitempty"`               // Θ floor, in (0, 1/K); also floors assign posteriors
 }
 
 // JobSpec is a fit submission. K is required unless WarmStartFrom names a
@@ -265,6 +266,10 @@ type Health struct {
 	// the server's data dir (served memory-only until restart); nonzero
 	// means durability is degraded on the server.
 	PersistFailures int64 `json:"persist_failures"`
+	// Assign surfaces the server's online-inference counters: assign
+	// request/object volume, micro-batching ratio, and engine cache
+	// effectiveness.
+	Assign AssignStats `json:"assign"`
 }
 
 // ModelInfo is one registry entry of the /v1/models API: identity and

@@ -7,6 +7,7 @@
 //	genclus -in network.json -k 4 [-out result.json] [-attrs text,score]
 //	        [-outer 10] [-em 15] [-seed 1] [-parallel 1] [-fixed-gamma]
 //	        [-save-model model.gcsnap] [-from-model model.gcsnap]
+//	genclus -from-model model.gcsnap -assign queries.json [-out out.json]
 //
 // -save-model writes the fitted model as a binary snapshot — the portable
 // form of fitted state, importable into a genclusd model registry (curl
@@ -15,6 +16,20 @@
 // or a daemon export from GET /v1/models/{id}/export) instead of starting
 // cold: refitting an evolved network this way converges in a fraction of a
 // cold start's iterations.
+//
+// -assign switches to offline online-inference scoring: no network and no
+// fit — the snapshot named by -from-model is loaded and every query object
+// in the queries file is folded into its hidden space (links to the
+// model's known objects plus optional partial attribute observations),
+// writing soft posteriors and top-k hard assignments as JSON. The queries
+// file uses the same document shape as the daemon's POST
+// /v1/models/{id}/assign body:
+//
+//	{"top_k": 2, "objects": [
+//	  {"id": "q1",
+//	   "links":   [{"rel": "cites", "to": "paper17", "w": 1}],
+//	   "terms":   {"title": [{"t": 3, "c": 2}]},
+//	   "numeric": {"score": [0.5]}}]}
 package main
 
 import (
@@ -25,6 +40,8 @@ import (
 	"strings"
 
 	"genclus"
+	"genclus/internal/infer"
+	"genclus/internal/snapshot"
 )
 
 type output struct {
@@ -63,8 +80,37 @@ func main() {
 		summary    = flag.Bool("summary", false, "print per-cluster summaries (sizes, top terms, component means) to stderr")
 		saveModel  = flag.String("save-model", "", "write the fitted model as a binary snapshot to this path")
 		fromModel  = flag.String("from-model", "", "warm-start the fit from a model snapshot (a -save-model file or a genclusd export)")
+		assignPath = flag.String("assign", "", "fold the query objects in this JSON file into the -from-model snapshot (offline scoring; no network, no fit)")
 	)
 	flag.Parse()
+	if *assignPath != "" {
+		if *fromModel == "" {
+			fmt.Fprintln(os.Stderr, "genclus: -assign requires -from-model")
+			flag.Usage()
+			os.Exit(2)
+		}
+		// -assign scores without fitting, so fit-only flags cannot take
+		// effect — reject them rather than silently dropping them (the
+		// caller may be counting on a -save-model file that would never
+		// be written, or a -k the snapshot overrides).
+		fitOnly := map[string]bool{
+			"in": true, "k": true, "attrs": true, "outer": true, "em": true,
+			"seed": true, "parallel": true, "fixed-gamma": true,
+			"history": true, "summary": true, "save-model": true,
+		}
+		var conflicts []string
+		flag.Visit(func(f *flag.Flag) {
+			if fitOnly[f.Name] {
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			fmt.Fprintf(os.Stderr, "genclus: %s only apply to fits and conflict with -assign\n", strings.Join(conflicts, " "))
+			os.Exit(2)
+		}
+		runAssign(*fromModel, *assignPath, *outPath)
+		return
+	}
 	if *inPath == "" {
 		fmt.Fprintln(os.Stderr, "genclus: -in is required")
 		flag.Usage()
@@ -167,4 +213,68 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "genclus:", err)
 	os.Exit(1)
+}
+
+// ---- offline assignment (-assign) ----
+
+// assignOut is the -assign output document; its assignments are the same
+// shared shape the daemon's assign endpoint returns (infer.AssignmentDoc),
+// which is what keeps the two surfaces byte-comparable.
+type assignOut struct {
+	K           int                   `json:"k"`
+	Assignments []infer.AssignmentDoc `json:"assignments"`
+}
+
+// runAssign loads a model snapshot and folds the query file's objects into
+// its hidden space — offline scoring with no network and no fit. The
+// queries file is decoded by the same infer.DecodeRequest the daemon's
+// assign endpoint uses, and the snapshot's provenance meta (the fit's
+// epsilon, when the exporting daemon recorded it) is honored the same way,
+// so the output matches the daemon's bit for bit.
+func runAssign(modelPath, queriesPath, outPath string) {
+	raw, err := os.ReadFile(modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	// Decode at the snapshot layer rather than genclus.LoadModel: the
+	// provenance meta (epsilon) is needed alongside the model.
+	snap, err := snapshot.Decode(raw, snapshot.DefaultLimits())
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", modelPath, err))
+	}
+	model := snap.Model
+	data, err := os.ReadFile(queriesPath)
+	if err != nil {
+		fatal(err)
+	}
+	doc, queries, err := infer.DecodeRequest(data, 0) // local file: no batch bound
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", queriesPath, err))
+	}
+	// Offline scoring trusts its local input file: no serving limits.
+	eng, err := genclus.NewAssigner(model, genclus.AssignOptions{
+		TopK:      doc.TopK,
+		Epsilon:   snapshot.EpsilonFromMeta(snap.Meta, model.K),
+		Unbounded: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := eng.AssignBatch(queries)
+	if err != nil {
+		fatal(err)
+	}
+	out := assignOut{K: eng.K(), Assignments: infer.AssignmentDocs(res, -1)}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if outPath == "" {
+		fmt.Println(string(enc))
+		return
+	}
+	if err := os.WriteFile(outPath, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "genclus: wrote %s (%d assignments against K=%d model)\n", outPath, len(out.Assignments), out.K)
 }

@@ -10,11 +10,19 @@
 //
 //	genclusd [-addr :8080] [-workers N] [-queue 64] [-ttl 1h]
 //	         [-max-body 33554432] [-data-dir DIR] [-max-models 1024]
+//	         [-assign-batch-window 2ms] [-assign-max-batch 256]
 //
 // With -data-dir, fitted state is durable: every finished fit's model
 // snapshot and job record are written crash-safely under DIR before the job
 // reports done, and a restarted daemon — including one killed with SIGKILL —
 // recovers and serves them again. Without it the daemon is memory-only.
+//
+// Registered models serve online inference via POST
+// /v1/models/{id}/assign: batches of new objects fold into a model's
+// hidden space without refitting. -assign-batch-window bounds how long a
+// request waits to coalesce with concurrent ones into a shared inference
+// pass (0 disables coalescing), and -assign-max-batch caps both a single
+// request's batch and a coalesced pass.
 //
 // The genclus/client package is the typed Go SDK for this daemon; see
 // README.md for it and for the raw HTTP API.
@@ -44,16 +52,26 @@ func main() {
 		maxBody   = flag.Int64("max-body", 32<<20, "maximum request body size in bytes")
 		dataDir   = flag.String("data-dir", "", "persist finished fits (model snapshots + job records) under this directory; empty = memory-only")
 		maxModels = flag.Int("max-models", 0, "cap on registered models; oldest evicted beyond it (default 1024)")
+
+		assignWindow   = flag.Duration("assign-batch-window", 2*time.Millisecond, "how long an assign request sleeps to coalesce with concurrent ones into a shared inference pass (a fixed latency floor every request pays); 0s disables coalescing")
+		assignMaxBatch = flag.Int("assign-max-batch", 0, "cap on query objects per assign request and per coalesced inference pass (default 256)")
 	)
 	flag.Parse()
 
+	window := *assignWindow
+	if window == 0 {
+		window = -1 // explicit 0s: coalescing off (Config treats negative as disabled)
+	}
+
 	srv, err := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		JobTTL:       *ttl,
-		MaxBodyBytes: *maxBody,
-		DataDir:      *dataDir,
-		MaxModels:    *maxModels,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		JobTTL:            *ttl,
+		MaxBodyBytes:      *maxBody,
+		DataDir:           *dataDir,
+		MaxModels:         *maxModels,
+		AssignBatchWindow: window,
+		MaxAssignBatch:    *assignMaxBatch,
 	})
 	if err != nil {
 		log.Fatalf("genclusd: %v", err)

@@ -175,6 +175,65 @@ func ExampleEncodeModel() {
 	// refit from decoded model bitwise-identical: true
 }
 
+// ExampleNewAssigner fits a small two-topic network and folds brand-new
+// objects into the fitted hidden space with the online inference engine —
+// no refit, any subset of evidence: citations only, title words only, or
+// nothing at all (which earns the uniform posterior).
+func ExampleNewAssigner() {
+	b := genclus.NewBuilder()
+	b.DeclareAttribute(genclus.AttrSpec{Name: "text", Kind: genclus.Categorical, VocabSize: 20})
+	for topic := 0; topic < 2; topic++ {
+		ids := make([]string, 8)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("doc%d_%d", topic, i)
+			b.AddObject(ids[i], "doc")
+			for w := 0; w < 6; w++ {
+				b.AddTermCount(ids[i], "text", topic*10+(i+w)%10, 1)
+			}
+		}
+		for i, id := range ids {
+			b.AddLink(id, ids[(i+1)%len(ids)], "cites", 1)
+		}
+	}
+	net, err := b.Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	opts := genclus.DefaultOptions(2)
+	opts.Seed = 1
+	model, err := genclus.Fit(net, opts)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	assigner, err := genclus.NewAssigner(model, genclus.AssignOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	out, err := assigner.AssignBatch([]genclus.AssignQuery{
+		{ID: "cites-0", Links: []genclus.AssignLink{{Relation: "cites", To: "doc0_3", Weight: 1}}},
+		{ID: "texts-1", Terms: []genclus.AssignCatObs{{Attr: "text", Terms: []genclus.TermCount{{Term: 12, Count: 2}}}}},
+		{ID: "no-info"},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	labels := genclus.HardLabels(model.Theta)
+	d0, _ := net.IndexOf("doc0_3")
+	d1, _ := net.IndexOf("doc1_0")
+	fmt.Println("citing doc joins topic 0:", out[0].Cluster == labels[d0])
+	fmt.Println("texted doc joins topic 1:", out[1].Cluster == labels[d1])
+	fmt.Println("evidence-free doc is uniform:", out[2].Theta[0] == 0.5 && out[2].Theta[1] == 0.5)
+	// Output:
+	// citing doc joins topic 0: true
+	// texted doc joins topic 1: true
+	// evidence-free doc is uniform: true
+}
+
 // ExampleInferSchema derives the typed structure of a generated network.
 func ExampleInferSchema() {
 	ds, err := genclus.GenerateWeather(genclus.WeatherSetting1(30, 15, 1, 1))

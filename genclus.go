@@ -43,6 +43,7 @@ import (
 	"genclus/internal/datagen"
 	"genclus/internal/eval"
 	"genclus/internal/hin"
+	"genclus/internal/infer"
 	"genclus/internal/snapshot"
 )
 
@@ -242,6 +243,95 @@ func LoadModel(path string) (*Model, error) {
 		return nil, fmt.Errorf("genclus: read model %s: %w", path, err)
 	}
 	return DecodeModel(data)
+}
+
+// Assigner is the online inference engine: it folds out-of-sample objects
+// — links to the model's known objects plus optional partial attribute
+// observations — into a fitted model's hidden space without refitting,
+// returning soft cluster posteriors and top-k hard assignments computed
+// with the same E-step arithmetic as the fit (a missing attribute simply
+// contributes no term). Construct one per model with NewAssigner; steady-
+// state AssignBatch allocates nothing, but an Assigner is NOT safe for
+// concurrent use — create one per goroutine, or let genclusd's
+// /v1/models/{id}/assign endpoint do the batching and locking.
+type Assigner = infer.Engine
+
+// AssignQuery describes one object to assign: links into the known network
+// plus optional partial attribute observations.
+type AssignQuery = infer.Query
+
+// AssignLink is one directed link from a query object to a known object.
+type AssignLink = infer.Link
+
+// AssignCatObs is a query object's term-count observation of one
+// categorical attribute.
+type AssignCatObs = infer.CatObs
+
+// AssignNumObs is a query object's observation list of one numeric
+// attribute.
+type AssignNumObs = infer.NumObs
+
+// Assignment is one query's scored result: hard cluster, soft posterior
+// row, top-k list, and the fold-in iteration count. Results returned by an
+// Assigner alias its reusable arena and are valid until its next call;
+// AssignObjects returns stable copies instead.
+type Assignment = infer.Assignment
+
+// ClusterProb is one entry of an assignment's top-k list.
+type ClusterProb = infer.ClusterProb
+
+// AssignOptions configures an Assigner (top-k size, fold-in iteration
+// budget, epsilon floor, input limits). The zero value takes the defaults.
+type AssignOptions = infer.Options
+
+// AssignLimits bounds what one AssignBatch call may process — the assign
+// trust boundary (batch size, per-query links and observations).
+type AssignLimits = infer.Limits
+
+// AssignQueryError reports a malformed or unresolvable assign query (an
+// unknown object, relation or attribute, an out-of-vocabulary term, a
+// non-finite number); errors.As-distinguishable from AssignLimitError.
+type AssignQueryError = infer.QueryError
+
+// AssignLimitError reports an assign batch rejected because it exceeded an
+// AssignLimits bound.
+type AssignLimitError = infer.LimitError
+
+// DefaultAssignLimits is the bound serving paths apply to assign batches.
+func DefaultAssignLimits() AssignLimits { return infer.DefaultLimits() }
+
+// NewAssigner builds the online inference engine for a fitted model — any
+// Model: a local Fit/Refit result, a decoded snapshot (DecodeModel /
+// LoadModel), or a rehydrated remote fit (NewModel). The engine
+// precomputes the model-derived scoring views once, so it is the right
+// shape to keep around when assigning many batches against one model.
+func NewAssigner(m *Model, opts AssignOptions) (*Assigner, error) {
+	return infer.NewEngine(m, opts)
+}
+
+// AssignObjects is the one-call convenience form of online inference: it
+// builds a throwaway Assigner with default options and returns stable
+// copies of the assignments (safe to retain, unlike an Assigner's
+// arena-backed results). Queries are local trusted input, so no
+// AssignLimits bounds apply — unlike a genclusd request, any batch size
+// goes. For repeated or high-volume assignment, construct one Assigner
+// with NewAssigner and reuse it.
+func AssignObjects(m *Model, queries []AssignQuery) ([]Assignment, error) {
+	eng, err := NewAssigner(m, AssignOptions{Unbounded: true})
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.AssignBatch(queries)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Assignment, len(res))
+	for i, a := range res {
+		a.Theta = append([]float64(nil), a.Theta...)
+		a.Top = append([]ClusterProb(nil), a.Top...)
+		out[i] = a
+	}
+	return out, nil
 }
 
 // AttrModel is a fitted per-attribute component model.

@@ -1,6 +1,7 @@
 package genclus_test
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -132,5 +133,80 @@ func TestPublicLinkPrediction(t *testing.T) {
 		if mapv < 0 || mapv > 1 {
 			t.Errorf("%s MAP = %v", sim.Name, mapv)
 		}
+	}
+}
+
+// TestPublicAssign covers the online-inference surface: AssignObjects
+// returns stable copies, a decoded snapshot assigns identically to the
+// in-memory model it came from, and the typed errors surface through the
+// public aliases.
+func TestPublicAssign(t *testing.T) {
+	ds, err := genclus.GenerateWeather(genclus.WeatherSetting1(40, 20, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := genclus.DefaultOptions(ds.NumClusters)
+	opts.Seed = 2
+	model, err := genclus.Fit(ds.Net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := ds.Net.Relations()[0]
+	anchor := ds.Net.Object(0).ID
+	queries := []genclus.AssignQuery{{
+		ID:    "q0",
+		Links: []genclus.AssignLink{{Relation: rel, To: anchor, Weight: 1}},
+	}}
+
+	out, err := genclus.AssignObjects(model, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || len(out[0].Theta) != ds.NumClusters || out[0].ID != "q0" {
+		t.Fatalf("assignment shape wrong: %+v", out)
+	}
+	// AssignObjects results are stable copies: a second call through a
+	// fresh engine must not disturb them.
+	keep := append([]float64(nil), out[0].Theta...)
+	if _, err := genclus.AssignObjects(model, queries); err != nil {
+		t.Fatal(err)
+	}
+	for k := range keep {
+		if out[0].Theta[k] != keep[k] {
+			t.Fatal("AssignObjects result mutated by a later call")
+		}
+	}
+
+	// Snapshot round trip: the decoded model assigns bit-identically.
+	data, err := genclus.EncodeModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := genclus.DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := genclus.AssignObjects(back, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range keep {
+		if out2[0].Theta[k] != keep[k] {
+			t.Fatalf("snapshot-decoded model assigns differently: %v vs %v", out2[0].Theta, keep)
+		}
+	}
+
+	// Typed errors through the public aliases.
+	var qe *genclus.AssignQueryError
+	if _, err := genclus.AssignObjects(model, []genclus.AssignQuery{{Links: []genclus.AssignLink{{Relation: "ghost", To: anchor, Weight: 1}}}}); !errors.As(err, &qe) {
+		t.Fatalf("unknown relation: %v, want AssignQueryError", err)
+	}
+	eng, err := genclus.NewAssigner(model, genclus.AssignOptions{Limits: genclus.AssignLimits{MaxBatch: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var le *genclus.AssignLimitError
+	if _, err := eng.AssignBatch(make([]genclus.AssignQuery, 2)); !errors.As(err, &le) {
+		t.Fatalf("oversized batch: %v, want AssignLimitError", err)
 	}
 }

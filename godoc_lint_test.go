@@ -13,10 +13,12 @@ import (
 // documentedPackages are the directories whose exported identifiers form
 // the documented surface: the public library facade, the client SDK, the
 // network substrate whose types (Network, Builder, CSR, Limits, …) are
-// re-exported or returned across the internal boundary, and the
-// persistence substrate (the snapshot codec whose errors and limits cross
-// the API, and the crash-safe blob store genclusd's durability rests on).
-var documentedPackages = []string{".", "client", "internal/hin", "internal/snapshot", "internal/store"}
+// re-exported or returned across the internal boundary, the persistence
+// substrate (the snapshot codec whose errors and limits cross the API,
+// and the crash-safe blob store genclusd's durability rests on), and the
+// online inference engine whose query/assignment types the facade
+// re-exports (Assigner, AssignQuery, Assignment, …).
+var documentedPackages = []string{".", "client", "internal/hin", "internal/infer", "internal/snapshot", "internal/store"}
 
 // TestExportedIdentifiersAreDocumented is the godoc linter CI runs (the
 // repo cannot assume revive/golint binaries exist): every exported

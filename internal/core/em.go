@@ -282,7 +282,10 @@ func (s *state) emRange(thetaOld [][]float64, lo, hi int, acc *emAccum) {
 
 	// Attribute passes: 1{v∈V_X} Σ_obs p(z = k | obs), in attribute
 	// declaration order (the per-object accumulation order of the
-	// pre-pass-structured loop).
+	// pre-pass-structured loop). The per-object arithmetic lives in the
+	// shared E-step scoring kernel (score.go) so the online fold-in path
+	// replays it exactly; here it runs with the M-step accumulators
+	// attached.
 	for _, a := range s.attrs {
 		switch s.kind[a] {
 		case hin.Categorical:
@@ -294,103 +297,34 @@ func (s *state) emRange(thetaOld [][]float64, lo, hi int, acc *emAccum) {
 				if len(tcs) == 0 {
 					continue
 				}
-				thOld := thetaOld[v][:k:k]
 				nr := rows[(v-lo)*k : (v-lo)*k+k : (v-lo)*k+k]
-				for _, tc := range tcs {
-					base := tc.Term * k
-					bt := betaT[base : base+k : base+k]
-					var sum float64
-					for i := range bt {
-						resp[i] = thOld[i] * bt[i]
-						sum += resp[i]
-					}
-					if sum <= 0 {
-						continue // term impossible under every component
-					}
-					inv := tc.Count / sum
-					stt := st[base : base+k : base+k]
-					for i := range stt {
-						r := resp[i] * inv
-						nr[i] += r
-						stt[i] += r
-					}
-				}
+				scoreCatAttrInto(nr, st, resp, betaT, thetaOld[v], tcs, k)
 			}
 		case hin.Numeric:
 			gp := s.gauss[a]
-			mu, vr, hlv := gp.Mu[:k:k], gp.Var[:k:k], s.halfLogVar[a][:k:k]
-			gw, gwx, gwx2 := acc.gaussW[a][:k:k], acc.gaussWX[a][:k:k], acc.gaussWX2[a][:k:k]
+			mu, vr, hlv := gp.Mu, gp.Var, s.halfLogVar[a]
+			gw, gwx, gwx2 := acc.gaussW[a], acc.gaussWX[a], acc.gaussWX2[a]
 			obs := s.numRows[a]
 			for v := lo; v < hi; v++ {
 				xs := obs[v]
 				if len(xs) == 0 {
 					continue
 				}
-				thOld := thetaOld[v][:k:k]
 				nr := rows[(v-lo)*k : (v-lo)*k+k : (v-lo)*k+k]
-				// ln θ_v is shared by every observation of v.
-				for i := range thOld {
-					logTh[i] = math.Log(thOld[i])
-				}
-				for _, x := range xs {
-					// Log-space responsibilities guard against distant
-					// observations underflowing every component.
-					maxLog := math.Inf(-1)
-					for i := range logs {
-						d := x - mu[i]
-						logs[i] = logTh[i] - 0.5*d*d/vr[i] - hlv[i]
-						if logs[i] > maxLog {
-							maxLog = logs[i]
-						}
-					}
-					if math.IsInf(maxLog, -1) {
-						continue
-					}
-					var sum float64
-					for i := range logs {
-						resp[i] = math.Exp(logs[i] - maxLog)
-						sum += resp[i]
-					}
-					for i := range resp {
-						r := resp[i] / sum
-						nr[i] += r
-						gw[i] += r
-						gwx[i] += r * x
-						gwx2[i] += r * x * x
-					}
-				}
+				scoreGaussAttrInto(nr, gw, gwx, gwx2, resp, logs, logTh, mu, vr, hlv, thetaOld[v], xs, k)
 			}
 		}
 	}
 
-	// Normalization pass into Θ_t. An object with no out-links and no
-	// observations receives no information this round: keep its row.
+	// Normalization pass into Θ_t (the shared kernel's final pass). An
+	// object with no out-links and no observations receives no information
+	// this round: keep its row.
 	eps := s.opts.Epsilon
 	for v := lo; v < hi; v++ {
 		nr := rows[(v-lo)*k : (v-lo)*k+k : (v-lo)*k+k]
-		var mass float64
-		for _, x := range nr {
-			mass += x
-		}
 		dst := s.theta[v][:k:k]
-		if mass <= 0 || math.IsNaN(mass) || math.IsInf(mass, 0) {
+		if !normalizeRowInto(dst, nr, eps) {
 			copy(dst, thetaOld[v])
-			continue
-		}
-		for i := range dst {
-			x := nr[i] / mass
-			if x < eps || math.IsNaN(x) {
-				x = eps
-			}
-			dst[i] = x
-		}
-		// Re-normalize after flooring.
-		var sum float64
-		for _, x := range dst {
-			sum += x
-		}
-		for i := range dst {
-			dst[i] /= sum
 		}
 	}
 }

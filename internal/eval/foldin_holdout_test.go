@@ -1,0 +1,198 @@
+package eval_test
+
+import (
+	"fmt"
+	"testing"
+
+	"genclus/internal/core"
+	"genclus/internal/eval"
+	"genclus/internal/hin"
+	"genclus/internal/infer"
+)
+
+// buildHoldoutNet assembles the two-topic citation network of the fold-in
+// cross-check, omitting the objects in skip (and every link touching
+// them): the training network is literally "the complete network with the
+// held-out objects removed", which is what fold-in inference is supposed
+// to compensate for.
+func buildHoldoutNet(t *testing.T, perTopic int, skip map[string]bool) (*hin.Network, map[int]int) {
+	t.Helper()
+	b := hin.NewBuilder()
+	b.DeclareAttribute(hin.AttrSpec{Name: "text", Kind: hin.Categorical, VocabSize: 40})
+	topicOf := make(map[string]int)
+	for topic := 0; topic < 2; topic++ {
+		ids := make([]string, perTopic)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("d%d_%03d", topic, i)
+			topicOf[ids[i]] = topic
+			if skip[ids[i]] {
+				continue
+			}
+			b.AddObject(ids[i], "doc")
+			for w := 0; w < 8; w++ {
+				b.AddTermCount(ids[i], "text", topic*20+(i+w)%20, 1)
+			}
+		}
+		for i, id := range ids {
+			for _, to := range []string{ids[(i+1)%perTopic], ids[(i+7)%perTopic]} {
+				if skip[id] || skip[to] {
+					continue
+				}
+				b.AddLink(id, to, "cites", 1)
+			}
+		}
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make(map[int]int)
+	for v := 0; v < net.NumObjects(); v++ {
+		truth[v] = topicOf[net.Object(v).ID]
+	}
+	return net, truth
+}
+
+// holdoutQuery rebuilds one held-out object's evidence against the train
+// network: its text observation plus only those of its links whose targets
+// survived the holdout.
+func holdoutQuery(id string, topic, i, perTopic int, train *hin.Network) infer.Query {
+	q := infer.Query{ID: id}
+	for w := 0; w < 8; w++ {
+		q.Terms = appendTerm(q.Terms, "text", topic*20+(i+w)%20, 1)
+	}
+	for _, j := range []int{(i + 1) % perTopic, (i + 7) % perTopic} {
+		to := fmt.Sprintf("d%d_%03d", topic, j)
+		if _, ok := train.IndexOf(to); ok {
+			q.Links = append(q.Links, infer.Link{Relation: "cites", To: to, Weight: 1})
+		}
+	}
+	return q
+}
+
+func appendTerm(obs []infer.CatObs, attr string, term int, count float64) []infer.CatObs {
+	for i := range obs {
+		if obs[i].Attr == attr {
+			obs[i].Terms = append(obs[i].Terms, hin.TermCount{Term: term, Count: count})
+			return obs
+		}
+	}
+	return append(obs, infer.CatObs{Attr: attr, Terms: []hin.TermCount{{Term: term, Count: count}}})
+}
+
+// TestFoldInHoldoutMatchesFullFit is the correctness cross-check of the
+// online inference subsystem: fit a model on the network minus every
+// tenth object, fold the held-out objects back in, and compare against a
+// full fit of the complete network. The fold-in assignments must (a)
+// agree with the train fit's own clusters — ≥ 95% of held-out objects
+// land on the majority cluster of their topic — and (b) score an NMI
+// against ground truth within a fixed margin of what the full fit
+// achieves on the same held-out subset. That bounds how much assignment
+// quality the read-only fold-in path gives up versus refitting the
+// complete network.
+func TestFoldInHoldoutMatchesFullFit(t *testing.T) {
+	const perTopic = 80
+	skip := make(map[string]bool)
+	type heldOut struct {
+		id       string
+		topic, i int
+	}
+	var held []heldOut
+	for topic := 0; topic < 2; topic++ {
+		for i := 5; i < perTopic; i += 10 {
+			id := fmt.Sprintf("d%d_%03d", topic, i)
+			skip[id] = true
+			held = append(held, heldOut{id: id, topic: topic, i: i})
+		}
+	}
+
+	full, fullTruth := buildHoldoutNet(t, perTopic, nil)
+	train, _ := buildHoldoutNet(t, perTopic, skip)
+	if train.NumObjects() != full.NumObjects()-len(held) {
+		t.Fatalf("holdout construction wrong: %d train objects for %d full minus %d held",
+			train.NumObjects(), full.NumObjects(), len(held))
+	}
+
+	opts := core.DefaultOptions(2)
+	opts.Seed = 2 // separates the topics on both the full and train networks
+	opts.EMTol = 1e-9
+	opts.OuterTol = 1e-9
+	fullModel, err := core.Fit(full, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainModel, err := core.Fit(train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := infer.NewEngine(trainModel, infer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]infer.Query, len(held))
+	for i, h := range held {
+		queries[i] = holdoutQuery(h.id, h.topic, h.i, perTopic, train)
+	}
+	folded, err := eng.AssignBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) Agreement with the train fit: map each topic to the train
+	// model's majority cluster and count fold-in hits.
+	trainLabels := trainModel.HardLabels()
+	var counts [2][2]int
+	for v := 0; v < train.NumObjects(); v++ {
+		topic := 0
+		if train.Object(v).ID[1] == '1' {
+			topic = 1
+		}
+		counts[topic][trainLabels[v]]++
+	}
+	majority := [2]int{}
+	for topic := 0; topic < 2; topic++ {
+		if counts[topic][1] > counts[topic][0] {
+			majority[topic] = 1
+		}
+	}
+	if majority[0] == majority[1] {
+		t.Fatalf("train fit failed to separate the topics: %v", counts)
+	}
+	hits := 0
+	for i, a := range folded {
+		if a.Cluster == majority[held[i].topic] {
+			hits++
+		}
+	}
+	accuracy := float64(hits) / float64(len(folded))
+	if accuracy < 0.95 {
+		t.Errorf("fold-in accuracy vs train clusters = %.3f (%d/%d), want ≥ 0.95", accuracy, hits, len(folded))
+	}
+
+	// (b) NMI on the held-out subset, fold-in vs full fit, fixed margin.
+	fullLabels := fullModel.HardLabels()
+	var foldPred, fullPred, truthSub []int
+	for i, h := range held {
+		v, ok := full.IndexOf(h.id)
+		if !ok {
+			t.Fatalf("held-out %s missing from full network", h.id)
+		}
+		foldPred = append(foldPred, folded[i].Cluster)
+		fullPred = append(fullPred, fullLabels[v])
+		truthSub = append(truthSub, fullTruth[v])
+	}
+	nmiFold, err := eval.NMI(foldPred, truthSub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmiFull, err := eval.NMI(fullPred, truthSub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const margin = 0.10
+	t.Logf("held-out NMI: fold-in %.4f vs full fit %.4f (margin %.2f), accuracy %.3f", nmiFold, nmiFull, margin, accuracy)
+	if nmiFold < nmiFull-margin {
+		t.Errorf("fold-in NMI %.4f more than %.2f below full-fit NMI %.4f", nmiFold, margin, nmiFull)
+	}
+}

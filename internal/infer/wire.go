@@ -1,0 +1,162 @@
+package infer
+
+import (
+	"encoding/json"
+	"fmt"
+	"maps"
+	"slices"
+
+	"genclus/internal/hin"
+)
+
+// The assign request document: the one JSON shape both serving surfaces
+// accept — the daemon's POST /v1/models/{id}/assign body and the CLI's
+// -assign queries file. A single decoder keeps the two surfaces from
+// drifting apart, which is what makes their outputs bitwise comparable.
+
+// RequestDoc is an assign request document.
+type RequestDoc struct {
+	// Objects are the query objects to fold in.
+	Objects []ObjectDoc `json:"objects"`
+	// TopK sizes each assignment's top list (0 means the consumer's
+	// default of 1; capped at the model's K).
+	TopK int `json:"top_k"`
+}
+
+// ObjectDoc is one query object in the document shape: links by relation
+// name and known-object id, observations as attribute-name keyed maps —
+// the same idiom as the hin network document.
+type ObjectDoc struct {
+	// ID is an optional caller-side identifier echoed on the assignment.
+	ID string `json:"id,omitempty"`
+	// Links are the object's links to known objects.
+	Links []LinkDoc `json:"links,omitempty"`
+	// Terms maps categorical attribute name → sparse term counts.
+	Terms map[string][]TermDoc `json:"terms,omitempty"`
+	// Numeric maps numeric attribute name → observations.
+	Numeric map[string][]float64 `json:"numeric,omitempty"`
+}
+
+// LinkDoc is one link from a query object to a known object.
+type LinkDoc struct {
+	// Relation is the relation name.
+	Relation string `json:"rel"`
+	// To is the known object's ID.
+	To string `json:"to"`
+	// Weight is the positive finite link weight.
+	Weight float64 `json:"w"`
+}
+
+// TermDoc is one sparse term count, matching the network document format.
+type TermDoc struct {
+	// Term is the term index within the attribute's vocabulary.
+	Term int `json:"t"`
+	// Count is the positive finite count.
+	Count float64 `json:"c"`
+}
+
+// ClusterProbDoc is one top-k entry in the response document shape.
+type ClusterProbDoc struct {
+	// Cluster is the cluster index.
+	Cluster int `json:"cluster"`
+	// P is the posterior probability of the cluster.
+	P float64 `json:"p"`
+}
+
+// AssignmentDoc is one scored object in the response document shape,
+// shared — like the request document — by the daemon's assign endpoint
+// and the CLI's -assign output, so the two surfaces stay byte-comparable.
+type AssignmentDoc struct {
+	// ID echoes the query object's id.
+	ID string `json:"id,omitempty"`
+	// Cluster is the argmax hard assignment.
+	Cluster int `json:"cluster"`
+	// Theta is the soft posterior row (sums to 1).
+	Theta []float64 `json:"theta"`
+	// Top lists the top-k clusters, descending probability.
+	Top []ClusterProbDoc `json:"top"`
+	// FoldInIters is the fold-in iteration count (see Assignment).
+	FoldInIters int `json:"fold_in_iters"`
+}
+
+// AssignmentDocs deep-copies engine results out of the arena into response
+// documents, trimming each top list to topK entries (values ≥ the engine's
+// TopK keep the full list).
+func AssignmentDocs(res []Assignment, topK int) []AssignmentDoc {
+	out := make([]AssignmentDoc, len(res))
+	for i, a := range res {
+		top := a.Top
+		if topK >= 0 && topK < len(top) {
+			top = top[:topK]
+		}
+		doc := AssignmentDoc{
+			ID:          a.ID,
+			Cluster:     a.Cluster,
+			Theta:       append([]float64(nil), a.Theta...),
+			Top:         make([]ClusterProbDoc, len(top)),
+			FoldInIters: a.FoldInIters,
+		}
+		for j, cp := range top {
+			doc.Top[j] = ClusterProbDoc{Cluster: cp.Cluster, P: cp.P}
+		}
+		out[i] = doc
+	}
+	return out
+}
+
+// DecodeError reports a structurally malformed assign request document —
+// unparsable JSON, no objects, a negative top_k. Serving paths map it to
+// 400; limit overflows come back as *LimitError instead.
+type DecodeError struct {
+	// Msg describes what was rejected.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *DecodeError) Error() string { return e.Msg }
+
+// DecodeRequest parses an assign request document and converts it into
+// engine queries, in request order. maxBatch > 0 bounds the number of
+// objects (overflow is a *LimitError); structural problems are a
+// *DecodeError. Map-keyed attribute observations are sorted by name, so
+// the decoded queries — and any later validation error — are a pure
+// function of the document bytes. Semantic validation (unknown names,
+// out-of-vocabulary terms, non-finite values) is Engine.Validate's job.
+func DecodeRequest(data []byte, maxBatch int) (*RequestDoc, []Query, error) {
+	var req RequestDoc
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, nil, &DecodeError{Msg: fmt.Sprintf("parse assign request: %v", err)}
+	}
+	if len(req.Objects) == 0 {
+		return nil, nil, &DecodeError{Msg: "assign request has no objects"}
+	}
+	if maxBatch > 0 && len(req.Objects) > maxBatch {
+		return nil, nil, &LimitError{Query: -1, What: "batch size", Got: len(req.Objects), Limit: maxBatch}
+	}
+	if req.TopK < 0 {
+		return nil, nil, &DecodeError{Msg: "top_k must be ≥ 0"}
+	}
+	queries := make([]Query, len(req.Objects))
+	for i, o := range req.Objects {
+		q := Query{ID: o.ID}
+		if len(o.Links) > 0 {
+			q.Links = make([]Link, len(o.Links))
+			for j, l := range o.Links {
+				q.Links[j] = Link{Relation: l.Relation, To: l.To, Weight: l.Weight}
+			}
+		}
+		for _, name := range slices.Sorted(maps.Keys(o.Terms)) {
+			src := o.Terms[name]
+			co := CatObs{Attr: name, Terms: make([]hin.TermCount, len(src))}
+			for j, t := range src {
+				co.Terms[j] = hin.TermCount{Term: t.Term, Count: t.Count}
+			}
+			q.Terms = append(q.Terms, co)
+		}
+		for _, name := range slices.Sorted(maps.Keys(o.Numeric)) {
+			q.Numeric = append(q.Numeric, NumObs{Attr: name, Values: o.Numeric[name]})
+		}
+		queries[i] = q
+	}
+	return &req, queries, nil
+}

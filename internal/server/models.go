@@ -71,7 +71,10 @@ func (s *Server) modelResponse(e *modelEntry) modelResponse {
 	}
 }
 
-// snapshot meta keys the daemon records at export time.
+// snapshot meta keys the daemon records at export time. The epsilon key
+// (the fit's Θ floor, consumed by the assign engine) is owned by the
+// snapshot package so the CLI's offline -assign mode reads the same
+// convention: see snapshot.MetaEpsilon.
 const (
 	metaCreated       = "created"
 	metaJobID         = "job_id"
@@ -121,13 +124,15 @@ func (s *Server) registerModel(m *core.Model, meta map[string]string, created ti
 	return e, nil
 }
 
-// admitModel adds the entry to the registry and evicts overflow (memory and
-// disk) beyond Config.MaxModels, oldest first.
+// admitModel adds the entry to the registry and evicts overflow (memory,
+// disk, and cached inference engine) beyond Config.MaxModels, oldest
+// first.
 func (s *Server) admitModel(e *modelEntry) {
 	for _, old := range s.store.addModel(e, s.cfg.MaxModels) {
 		if s.blobs != nil {
-			_ = s.blobs.Delete(bucketModels, old)
+			_ = s.blobs.Delete(bucketModels, old.id)
 		}
+		s.dropEngine(old.digest)
 	}
 }
 
@@ -180,10 +185,15 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.store.deleteModel(id) {
+	e, ok := s.store.model(id)
+	if !ok || !s.store.deleteModel(id) {
 		writeError(w, http.StatusNotFound, "unknown model %q", id)
 		return
 	}
+	// Drop the cached inference engine too (unless another registry entry
+	// shares the snapshot digest) so a deleted model's memory is actually
+	// released rather than pinned by the assign cache.
+	s.dropEngine(e.digest)
 	if s.blobs != nil {
 		if err := s.blobs.Delete(bucketModels, id); err != nil && !errors.Is(err, diskstore.ErrNotFound) {
 			// The registry entry is gone either way; surface the disk state

@@ -65,10 +65,11 @@ func (s *Server) persistFinishedJob(j *job, finished time.Time) {
 		return
 	}
 	meta := map[string]string{
-		metaCreated:       finished.UTC().Format(time.RFC3339Nano),
-		metaJobID:         j.id,
-		metaNetworkID:     j.networkID,
-		metaOptionsDigest: snapshot.OptionsDigest(j.opts),
+		metaCreated:          finished.UTC().Format(time.RFC3339Nano),
+		metaJobID:            j.id,
+		metaNetworkID:        j.networkID,
+		metaOptionsDigest:    snapshot.OptionsDigest(j.opts),
+		snapshot.MetaEpsilon: snapshot.FormatEpsilon(j.opts.Epsilon),
 	}
 	entry, err := s.registerModel(snap.result, meta, finished, j.id, j.networkID)
 	if err != nil {

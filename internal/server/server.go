@@ -16,8 +16,16 @@
 //	GET    /v1/models/{id}        model metadata
 //	DELETE /v1/models/{id}        delete a model (registry and disk)
 //	GET    /v1/models/{id}/export download the binary model snapshot
+//	POST   /v1/models/{id}/assign fold new objects into a model (online inference)
 //	POST   /v1/models/import      register an uploaded snapshot → metadata
 //	GET    /healthz               liveness plus queue statistics
+//
+// Registered models also serve online inference: POST
+// /v1/models/{id}/assign folds batches of new objects — links to known
+// objects plus optional partial attribute observations — into the model's
+// hidden space without refitting, with concurrent requests coalesced into
+// shared engine passes (see assign.go and docs/ARCHITECTURE.md,
+// "Inference").
 //
 // A job submission may name a finished job in warm_start_from, or a
 // registered model in warm_start_from_model: the new fit is then
@@ -83,6 +91,28 @@ type Config struct {
 	MaxEMIters    int
 	MaxInitSeeds  int
 
+	// AssignBatchWindow is how long the first assign request against a
+	// model sleeps so concurrent companions can join the shared inference
+	// pass (default 2ms; negative disables coalescing so every request
+	// runs its own pass). The full window is always slept, so it is a
+	// fixed latency floor every request pays — micro-batching trades that
+	// bounded latency for engine-pass sharing under concurrent load.
+	AssignBatchWindow time.Duration
+	// MaxAssignBatch caps both the query objects of a single assign
+	// request (the trust boundary) and the objects coalesced into one
+	// shared engine pass (default 256).
+	MaxAssignBatch int
+	// MaxAssignLinks caps the links of a single assign query object
+	// (default 4096).
+	MaxAssignLinks int
+	// MaxAssignObs caps the term-count observations and, separately, the
+	// numeric observations of a single assign query object (default 4096).
+	MaxAssignObs int
+	// MaxAssignEngines caps the per-model inference engine cache (default
+	// 64); least-recently-used engines are dropped beyond it and rebuilt
+	// on demand.
+	MaxAssignEngines int
+
 	// DataDir, when set, makes finished fits durable: model snapshots and
 	// job records are written crash-safely under it and replayed at
 	// startup, so a restarted (or SIGKILLed) daemon serves every fit that
@@ -147,6 +177,24 @@ func (c Config) withDefaults() Config {
 	if c.MaxModels <= 0 {
 		c.MaxModels = 1024
 	}
+	if c.AssignBatchWindow == 0 {
+		c.AssignBatchWindow = 2 * time.Millisecond
+	}
+	if c.AssignBatchWindow < 0 {
+		c.AssignBatchWindow = 0
+	}
+	if c.MaxAssignBatch <= 0 {
+		c.MaxAssignBatch = 256
+	}
+	if c.MaxAssignLinks <= 0 {
+		c.MaxAssignLinks = 4096
+	}
+	if c.MaxAssignObs <= 0 {
+		c.MaxAssignObs = 4096
+	}
+	if c.MaxAssignEngines <= 0 {
+		c.MaxAssignEngines = 64
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -168,7 +216,12 @@ type Server struct {
 	// persistFailures counts degraded-durability events (failed snapshot or
 	// record writes); surfaced on /healthz so a sick volume is visible.
 	persistFailures atomic.Int64
-	sweeper         chan struct{} // closed by Close to stop the janitor
+	// assignCache holds the per-model inference engines behind their
+	// micro-batching dispatchers (see assign.go); assignStats are the
+	// monotone /healthz assign counters.
+	assignCache assignEngines
+	assignStats assignCounters
+	sweeper     chan struct{} // closed by Close to stop the janitor
 	// draining closes when event streams must end (DrainStreams/Close).
 	// Without it, a live SSE connection would hold http.Server.Shutdown
 	// open for its whole timeout.
@@ -192,6 +245,7 @@ func New(cfg Config) (*Server, error) {
 		sweeper:  make(chan struct{}),
 		draining: make(chan struct{}),
 	}
+	s.assignCache.cap = cfg.MaxAssignEngines
 	if cfg.DataDir != "" {
 		blobs, err := diskstore.Open(cfg.DataDir)
 		if err != nil {
@@ -236,6 +290,7 @@ func (s *Server) routes() []Route {
 		{Method: "GET", Path: "/v1/models/{id}", handler: s.handleGetModel},
 		{Method: "DELETE", Path: "/v1/models/{id}", handler: s.handleDeleteModel},
 		{Method: "GET", Path: "/v1/models/{id}/export", handler: s.handleExportModel},
+		{Method: "POST", Path: "/v1/models/{id}/assign", handler: s.handleAssign},
 		{Method: "GET", Path: "/healthz", handler: s.handleHealthz},
 	}
 }
@@ -338,6 +393,7 @@ type jobOptions struct {
 	LearnGamma           *bool    `json:"learn_gamma,omitempty"`
 	InitialGamma         *float64 `json:"initial_gamma,omitempty"`
 	SymmetricPropagation *bool    `json:"symmetric_propagation,omitempty"`
+	Epsilon              *float64 `json:"epsilon,omitempty"`
 }
 
 func (jo *jobOptions) apply(opts *core.Options) {
@@ -383,6 +439,9 @@ func (jo *jobOptions) apply(opts *core.Options) {
 	}
 	if jo.SymmetricPropagation != nil {
 		opts.SymmetricPropagation = *jo.SymmetricPropagation
+	}
+	if jo.Epsilon != nil {
+		opts.Epsilon = *jo.Epsilon
 	}
 }
 
@@ -438,6 +497,10 @@ type healthResponse struct {
 	// the data dir (served memory-only until restart). Nonzero means the
 	// durability contract is degraded — check the volume and the logs.
 	PersistFailures int64 `json:"persist_failures"`
+	// Assign surfaces the online-inference counters: request/object
+	// volume, the micro-batching coalescing ratio, and engine-cache
+	// effectiveness.
+	Assign assignStatsResponse `json:"assign"`
 }
 
 // ---- handlers ----
@@ -744,5 +807,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Models:          s.store.numModels(),
 		Jobs:            s.store.jobCounts(),
 		PersistFailures: s.persistFailures.Load(),
+		Assign:          s.assignStatsSnapshot(),
 	})
 }

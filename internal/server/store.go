@@ -135,13 +135,13 @@ func (st *store) jobEvicted(id string) bool {
 }
 
 // addModel registers a model. When maxModels > 0 and the registry
-// overflows, the oldest entries are evicted and their ids returned so the
-// caller can drop their snapshots from disk.
-func (st *store) addModel(e *modelEntry, maxModels int) []string {
+// overflows, the oldest entries are evicted and returned so the caller
+// can drop their snapshots from disk and their cached inference engines.
+func (st *store) addModel(e *modelEntry, maxModels int) []*modelEntry {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.models[e.id] = e
-	var evicted []string
+	var evicted []*modelEntry
 	for maxModels > 0 && len(st.models) > maxModels {
 		oldestID := ""
 		var oldest time.Time
@@ -150,10 +150,24 @@ func (st *store) addModel(e *modelEntry, maxModels int) []string {
 				oldestID, oldest = id, m.created
 			}
 		}
+		evicted = append(evicted, st.models[oldestID])
 		delete(st.models, oldestID)
-		evicted = append(evicted, oldestID)
 	}
 	return evicted
+}
+
+// digestInUse reports whether any live registry entry serves the given
+// snapshot digest (the engine cache only drops a digest once no model
+// needs it).
+func (st *store) digestInUse(digest string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, e := range st.models {
+		if e.digest == digest {
+			return true
+		}
+	}
+	return false
 }
 
 // model fetches a registered model.

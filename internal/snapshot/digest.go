@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"genclus/internal/core"
@@ -34,4 +35,36 @@ func OptionsDigest(opts core.Options) string {
 func DataDigest(data []byte) string {
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:])
+}
+
+// MetaEpsilon is the provenance meta key recording the fit's Θ floor
+// (Options.Epsilon). Online inference needs it because reproducing a
+// model's training rows bit for bit requires flooring posteriors at the
+// fit's own epsilon — which the fitted state itself does not carry. Both
+// consumers of daemon-exported snapshots (genclusd's assign engine and
+// the CLI's -assign mode) read it through EpsilonFromMeta.
+const MetaEpsilon = "epsilon"
+
+// FormatEpsilon renders an epsilon as an exact hex float for MetaEpsilon:
+// the round trip through EpsilonFromMeta is bit-exact.
+func FormatEpsilon(eps float64) string {
+	return strconv.FormatFloat(eps, 'x', -1, 64)
+}
+
+// EpsilonFromMeta recovers the recorded Θ floor for a model with k
+// clusters. It returns 0 — "use the fit default" — when the key is
+// absent (imports from older snapshots, models serialized without
+// provenance) or when the recorded value is unparsable or outside the
+// valid (0, 1/k) domain: a bad provenance entry must degrade assignment
+// precision, never fail serving.
+func EpsilonFromMeta(meta map[string]string, k int) float64 {
+	v, ok := meta[MetaEpsilon]
+	if !ok {
+		return 0
+	}
+	eps, err := strconv.ParseFloat(v, 64)
+	if err != nil || !(eps > 0) || eps >= 1.0/float64(k) {
+		return 0
+	}
+	return eps
 }
