@@ -80,6 +80,7 @@ type AssignStats struct {
 	EnginePasses      int64 `json:"engine_passes"`       // shared inference passes executed
 	EngineCacheHits   int64 `json:"engine_cache_hits"`   // engine cache hits (by snapshot digest)
 	EngineCacheMisses int64 `json:"engine_cache_misses"` // engine cache misses (engines built)
+	ShedRequests      int64 `json:"shed_requests"`       // requests rejected 429 by admission control
 }
 
 // AssignObjects folds a batch of new objects into a registered model

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -83,6 +84,10 @@ type APIError struct {
 	StatusCode int    // HTTP status the service answered with
 	Message    string // server-side error description
 	Code       string // machine-readable condition (e.g. "job_evicted"), "" when unset
+	// RetryAfter is the server's Retry-After hint on 429 responses (zero
+	// when the server sent none); retries honor it over the exponential
+	// backoff when it is longer.
+	RetryAfter time.Duration
 }
 
 // Error implements the error interface.
@@ -91,13 +96,31 @@ func (e *APIError) Error() string {
 }
 
 // Is routes errors.Is through the server's error code, so a 404 on a
-// TTL-evicted job matches ErrJobEvicted while a never-existed job does not.
+// TTL-evicted job matches ErrJobEvicted while a never-existed job does
+// not, and a 429 from assign admission control matches ErrOverloaded.
 func (e *APIError) Is(target error) bool {
-	return target == ErrJobEvicted && e.Code == codeJobEvicted
+	switch target {
+	case ErrJobEvicted:
+		return e.Code == codeJobEvicted
+	case ErrOverloaded:
+		return e.Code == codeOverloaded
+	}
+	return false
 }
 
 // codeJobEvicted is the server's error code for 404s on TTL-evicted jobs.
 const codeJobEvicted = "job_evicted"
+
+// codeOverloaded is the server's error code on 429s from assign admission
+// control.
+const codeOverloaded = "overloaded"
+
+// ErrOverloaded reports that the service shed the request under load (a
+// full assign queue, the global in-flight cap, or the configured rate
+// limit) with a 429. Idempotent requests retry automatically, honoring the
+// server's Retry-After; test with errors.Is — the concrete error remains
+// an *APIError carrying the server message and RetryAfter.
+var ErrOverloaded = errors.New("genclusd: overloaded, retry later")
 
 // ErrJobEvicted reports that a job existed but was evicted after its TTL —
 // its result is gone from the job table, though the fitted model usually
@@ -543,10 +566,17 @@ func (c *Client) doRaw(ctx context.Context, method, path string, body []byte, co
 		if shift > 16 {
 			shift = 16
 		}
+		wait := c.retryBase << shift
+		// A shed request (429) carries the server's own backoff hint;
+		// retrying sooner than it asks just gets shed again.
+		var ae *APIError
+		if errors.As(err, &ae) && ae.RetryAfter > wait {
+			wait = ae.RetryAfter
+		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(c.retryBase << shift):
+		case <-time.After(wait):
 		}
 	}
 }
@@ -575,7 +605,11 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, con
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		msg, code := errorMessage(data)
-		return nil, &APIError{StatusCode: resp.StatusCode, Message: msg, Code: code}
+		ae := &APIError{StatusCode: resp.StatusCode, Message: msg, Code: code}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return nil, ae
 	}
 	return data, nil
 }
@@ -599,7 +633,8 @@ func transient(err error) bool {
 	var ae *APIError
 	if errors.As(err, &ae) {
 		switch ae.StatusCode {
-		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		case http.StatusTooManyRequests, // shed by admission control: back off and retry
+			http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 			return true
 		}
 		return false

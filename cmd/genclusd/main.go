@@ -11,6 +11,9 @@
 //	genclusd [-addr :8080] [-workers N] [-queue 64] [-ttl 1h]
 //	         [-max-body 33554432] [-data-dir DIR] [-max-models 1024]
 //	         [-assign-batch-window 2ms] [-assign-max-batch 256]
+//	         [-assign-max-queue N] [-assign-max-inflight 1024]
+//	         [-assign-rps 0] [-read-timeout 2m] [-write-timeout 1m]
+//	         [-idle-timeout 2m] [-log-format text|json] [-log-level info]
 //
 // With -data-dir, fitted state is durable: every finished fit's model
 // snapshot and job record are written crash-safely under DIR before the job
@@ -22,7 +25,16 @@
 // hidden space without refitting. -assign-batch-window bounds how long a
 // request waits to coalesce with concurrent ones into a shared inference
 // pass (0 disables coalescing), and -assign-max-batch caps both a single
-// request's batch and a coalesced pass.
+// request's batch and a coalesced pass. Admission control sheds overload
+// with typed 429 "overloaded" responses: -assign-max-queue bounds the
+// query objects queued behind a busy model, -assign-max-inflight caps
+// concurrent assign requests globally, and -assign-rps adds an optional
+// token-bucket rate limit.
+//
+// GET /metrics serves the full operational instrument inventory in the
+// Prometheus text format (see docs/ARCHITECTURE.md, "Operations"), and
+// structured logs (slog; -log-format, -log-level) carry per-request and
+// per-job IDs.
 //
 // The genclus/client package is the typed Go SDK for this daemon; see
 // README.md for it and for the raw HTTP API.
@@ -33,10 +45,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,12 +68,32 @@ func main() {
 
 		assignWindow   = flag.Duration("assign-batch-window", 2*time.Millisecond, "how long an assign request sleeps to coalesce with concurrent ones into a shared inference pass (a fixed latency floor every request pays); 0s disables coalescing")
 		assignMaxBatch = flag.Int("assign-max-batch", 0, "cap on query objects per assign request and per coalesced inference pass (default 256)")
+		assignMaxQueue = flag.Int("assign-max-queue", 0, "cap on query objects queued behind one model's dispatcher; overflow is shed with 429 (default 4x assign-max-batch, -1 unbounded)")
+		assignInFlight = flag.Int("assign-max-inflight", 0, "global cap on concurrent assign requests; overflow is shed with 429 (default 1024, -1 unbounded)")
+		assignRPS      = flag.Float64("assign-rps", 0, "token-bucket rate limit on assign admissions, requests per second (0 disables)")
+		assignBurst    = flag.Int("assign-burst", 0, "token-bucket burst for -assign-rps (default: assign-rps rounded up)")
+		readTimeout    = flag.Duration("read-timeout", 2*time.Minute, "http.Server ReadTimeout: full-request read budget (0 disables)")
+		writeTimeout   = flag.Duration("write-timeout", time.Minute, "per-request write deadline on non-streaming routes; SSE event streams are exempt (0 disables)")
+		idleTimeout    = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections (0 disables)")
+		logFormat      = flag.String("log-format", "text", "structured log encoding: text or json")
+		logLevelFlag   = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error (per-request lines are debug)")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevelFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genclusd: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	window := *assignWindow
 	if window == 0 {
 		window = -1 // explicit 0s: coalescing off (Config treats negative as disabled)
+	}
+	wt := *writeTimeout
+	if wt == 0 {
+		wt = -1 // explicit 0s: no write deadline (Config treats negative as disabled)
 	}
 
 	srv, err := server.New(server.Config{
@@ -72,20 +105,39 @@ func main() {
 		MaxModels:         *maxModels,
 		AssignBatchWindow: window,
 		MaxAssignBatch:    *assignMaxBatch,
+		MaxAssignQueue:    *assignMaxQueue,
+		MaxAssignInFlight: *assignInFlight,
+		AssignRPS:         *assignRPS,
+		AssignBurst:       *assignBurst,
+		WriteTimeout:      wt,
+		Logger:            logger,
 	})
 	if err != nil {
-		log.Fatalf("genclusd: %v", err)
+		logger.Error("startup failed", "error", err)
+		os.Exit(1)
 	}
 	if *dataDir != "" {
 		rec := srv.Recovered()
-		log.Printf("genclusd: data dir %s: recovered %d models, %d finished jobs (%d artifacts skipped, %d orphan records dropped)",
-			*dataDir, rec.Models, rec.Jobs, rec.SkippedBlobs, rec.OrphanRecords)
+		logger.Info("data dir recovered",
+			"dir", *dataDir,
+			"models", rec.Models,
+			"jobs", rec.Jobs,
+			"skipped", rec.SkippedBlobs,
+			"orphans", rec.OrphanRecords,
+		)
 	}
 
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// ReadHeaderTimeout alone left slow-body clients unbounded; the
+		// read and idle timeouts close them out, and the per-route write
+		// deadline (server.Config.WriteTimeout) covers the response side —
+		// http.Server.WriteTimeout itself would kill SSE streams, so it
+		// stays unset on purpose.
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 	// End live SSE streams as soon as a graceful shutdown starts —
 	// otherwise an attached events consumer holds Shutdown open for its
@@ -97,20 +149,48 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("genclusd listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	select {
 	case err := <-errc:
 		srv.Close()
-		log.Fatalf("genclusd: %v", err)
+		logger.Error("server failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Print("genclusd: shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "genclusd: shutdown: %v\n", err)
+		logger.Warn("shutdown incomplete", "error", err)
 	}
 	srv.Close() // aborts running fits and waits for workers to exit
+}
+
+// buildLogger assembles the process logger from the -log-format and
+// -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
 }

@@ -18,7 +18,7 @@ import (
 // and the crash-safe blob store genclusd's durability rests on), and the
 // online inference engine whose query/assignment types the facade
 // re-exports (Assigner, AssignQuery, Assignment, …).
-var documentedPackages = []string{".", "client", "internal/hin", "internal/infer", "internal/snapshot", "internal/store"}
+var documentedPackages = []string{".", "client", "internal/hin", "internal/infer", "internal/metrics", "internal/snapshot", "internal/store"}
 
 // TestExportedIdentifiersAreDocumented is the godoc linter CI runs (the
 // repo cannot assume revive/golint binaries exist): every exported

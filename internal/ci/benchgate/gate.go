@@ -11,10 +11,14 @@
 //	cp BENCH_fit.json /tmp/bench-baseline.json
 //	go test -run=xxx -bench=BenchmarkEMIteration -benchtime=200x .
 //	go run ./internal/ci/benchgate -baseline /tmp/bench-baseline.json \
-//	    -current BENCH_fit.json -key em-iteration/midsize -max-ns-regress 0.25
+//	    -current BENCH_fit.json -key em-iteration/midsize \
+//	    -max-ns-regress 0.25 -max-allocs 0
 //
 // The ns/op threshold is deliberately generous (25%) because CI machines
 // vary; the alloc gate is exact because allocation counts do not.
+// -max-allocs adds an *absolute* allocs/op ceiling on top of the relative
+// no-increase rule: CI passes -max-allocs 0 for the zero-alloc hot paths,
+// so the pin survives even a regressed committed baseline.
 package main
 
 import (
@@ -48,7 +52,11 @@ func loadEntries(path string) (map[string]entry, error) {
 // (a silently vanished benchmark must not pass the gate), current ns/op may
 // exceed baseline by at most maxNsRegress (fractional, e.g. 0.25 = +25%),
 // and allocs/op — when the baseline records them — may not increase at all.
-func gate(baseline, current map[string]entry, key string, maxNsRegress float64) []string {
+// maxAllocs, when non-negative, is additionally an absolute allocs/op
+// ceiling on the current run: unlike the relative rule it cannot be eroded
+// by committing a regressed baseline, which is how the 0 allocs/op pins on
+// the EM iteration and the assign pass stay pinned.
+func gate(baseline, current map[string]entry, key string, maxNsRegress float64, maxAllocs int64) []string {
 	var violations []string
 	base, okB := baseline[key]
 	cur, okC := current[key]
@@ -75,6 +83,16 @@ func gate(baseline, current map[string]entry, key string, maxNsRegress float64) 
 			violations = append(violations, fmt.Sprintf(
 				"%s: allocs/op increased: %d → %d (any increase fails)",
 				key, *base.AllocsPerOp, *cur.AllocsPerOp))
+		}
+	}
+	if maxAllocs >= 0 {
+		if cur.AllocsPerOp == nil {
+			violations = append(violations, fmt.Sprintf(
+				"%s: -max-allocs %d set but the current run records no allocs/op", key, maxAllocs))
+		} else if *cur.AllocsPerOp > maxAllocs {
+			violations = append(violations, fmt.Sprintf(
+				"%s: allocs/op %d exceeds the absolute ceiling %d",
+				key, *cur.AllocsPerOp, maxAllocs))
 		}
 	}
 	return violations

@@ -29,7 +29,7 @@ func TestGateRules(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got := gate(base, tc.current, "em-iteration/midsize", 0.25)
+			got := gate(base, tc.current, "em-iteration/midsize", 0.25, -1)
 			if tc.want == "" {
 				if len(got) != 0 {
 					t.Fatalf("want pass, got %v", got)
@@ -44,14 +44,43 @@ func TestGateRules(t *testing.T) {
 
 	// A key absent from the baseline fails too (the gate must not silently
 	// pass a benchmark nobody committed a baseline for).
-	if got := gate(map[string]entry{}, base, "em-iteration/midsize", 0.25); len(got) == 0 || !strings.Contains(got[0], "missing from baseline") {
+	if got := gate(map[string]entry{}, base, "em-iteration/midsize", 0.25, -1); len(got) == 0 || !strings.Contains(got[0], "missing from baseline") {
 		t.Fatalf("missing baseline: %v", got)
 	}
 
 	// Both regressions at once report both.
 	both := map[string]entry{"em-iteration/midsize": {NsPerOp: 5000, AllocsPerOp: i64p(3)}}
-	if got := gate(base, both, "em-iteration/midsize", 0.25); len(got) != 2 {
+	if got := gate(base, both, "em-iteration/midsize", 0.25, -1); len(got) != 2 {
 		t.Fatalf("want 2 violations, got %v", got)
+	}
+}
+
+// TestGateAbsoluteAllocCeiling covers -max-allocs: an absolute ceiling that
+// holds even when the committed baseline itself has regressed, which is
+// what pins the zero-alloc hot paths for good.
+func TestGateAbsoluteAllocCeiling(t *testing.T) {
+	// Baseline already regressed to 3 allocs/op: the relative rule passes
+	// a matching current run, the absolute ceiling still fails it.
+	regressed := map[string]entry{"em-iteration/midsize": {NsPerOp: 1000, AllocsPerOp: i64p(3)}}
+	if got := gate(regressed, regressed, "em-iteration/midsize", 0.25, -1); len(got) != 0 {
+		t.Fatalf("relative-only should pass a self-consistent baseline: %v", got)
+	}
+	got := gate(regressed, regressed, "em-iteration/midsize", 0.25, 0)
+	if len(got) != 1 || !strings.Contains(got[0], "exceeds the absolute ceiling") {
+		t.Fatalf("want absolute-ceiling violation, got %v", got)
+	}
+
+	clean := map[string]entry{"em-iteration/midsize": {NsPerOp: 1000, AllocsPerOp: i64p(0)}}
+	if got := gate(clean, clean, "em-iteration/midsize", 0.25, 0); len(got) != 0 {
+		t.Fatalf("0 allocs/op under -max-allocs 0 should pass: %v", got)
+	}
+
+	// A current run with no allocs/op recorded cannot prove it meets the
+	// ceiling, so it fails when one is set.
+	noAllocs := map[string]entry{"em-iteration/midsize": {NsPerOp: 1000}}
+	got = gate(noAllocs, noAllocs, "em-iteration/midsize", 0.25, 0)
+	if len(got) != 1 || !strings.Contains(got[0], "records no allocs/op") {
+		t.Fatalf("want missing-allocs violation, got %v", got)
 	}
 }
 
@@ -75,7 +104,7 @@ func TestLoadEntriesAgainstCommittedBaseline(t *testing.T) {
 	}
 	// The committed file gates against itself (sanity: CI passes on an
 	// unchanged tree, modulo machine noise the threshold absorbs).
-	if got := gate(entries, entries, "em-iteration/midsize", 0.25); len(got) != 0 {
+	if got := gate(entries, entries, "em-iteration/midsize", 0.25, 0); len(got) != 0 {
 		t.Fatalf("baseline does not pass against itself: %v", got)
 	}
 }

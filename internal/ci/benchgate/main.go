@@ -12,6 +12,7 @@ func main() {
 		currentPath  = flag.String("current", "BENCH_fit.json", "freshly regenerated BENCH_fit.json")
 		key          = flag.String("key", "em-iteration/midsize", "benchmark entry to gate")
 		maxNsRegress = flag.Float64("max-ns-regress", 0.25, "maximum allowed fractional ns/op regression")
+		maxAllocs    = flag.Int64("max-allocs", -1, "absolute allocs/op ceiling on the current run (-1 disables; 0 pins zero-alloc)")
 	)
 	flag.Parse()
 	if *baselinePath == "" {
@@ -28,7 +29,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)
 	}
-	violations := gate(baseline, current, *key, *maxNsRegress)
+	violations := gate(baseline, current, *key, *maxNsRegress, *maxAllocs)
 	if len(violations) > 0 {
 		for _, v := range violations {
 			fmt.Fprintf(os.Stderr, "benchgate: FAIL: %s\n", v)

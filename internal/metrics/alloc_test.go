@@ -1,0 +1,32 @@
+package metrics
+
+import "testing"
+
+// raceEnabled is set by the build-tagged siblings; the race detector's
+// instrumentation breaks exact allocation accounting.
+
+// TestHotPathZeroAlloc pins the instrumentation contract this package
+// exists for: incrementing a counter, moving a gauge, and observing into
+// a histogram allocate nothing, so wiring them into the EM-iteration and
+// assign-pass hot paths cannot move those paths off 0 allocs/op.
+func TestHotPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not exact under -race")
+	}
+	r := NewRegistry()
+	c := r.Counter("app_total", "t.")
+	g := r.Gauge("app_depth", "d.")
+	h := r.Histogram("app_seconds", "s.", DurationBuckets())
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Add(2) }); n != 0 {
+		t.Errorf("Counter.Add allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Add(1) }); n != 0 {
+		t.Errorf("Gauge.Add allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.003) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op", n)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package metrics
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation breaks exact allocation accounting.
+const raceEnabled = false

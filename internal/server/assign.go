@@ -4,8 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"genclus/internal/infer"
@@ -58,6 +58,9 @@ type assignStatsResponse struct {
 	// lookups by snapshot digest.
 	EngineCacheHits   int64 `json:"engine_cache_hits"`
 	EngineCacheMisses int64 `json:"engine_cache_misses"`
+	// ShedRequests counts assign requests rejected with 429 "overloaded"
+	// by admission control (queue bound, in-flight cap, or rate limit).
+	ShedRequests int64 `json:"shed_requests"`
 }
 
 // ---- engine cache + micro-batching dispatcher ----
@@ -85,7 +88,7 @@ func (s *Server) dispatcher(e *modelEntry) (*assignDispatcher, error) {
 	if d, ok := c.entries[e.digest]; ok {
 		d.lastUsed = s.cfg.now()
 		c.mu.Unlock()
-		s.assignStats.cacheHits.Add(1)
+		s.assignStats.recordCacheLookup(true)
 		<-d.ready
 		if d.buildErr != nil {
 			return nil, d.buildErr
@@ -97,14 +100,16 @@ func (s *Server) dispatcher(e *modelEntry) (*assignDispatcher, error) {
 	d := &assignDispatcher{
 		window:   s.cfg.AssignBatchWindow,
 		maxBatch: s.cfg.MaxAssignBatch,
+		maxQueue: s.cfg.MaxAssignQueue,
 		stats:    &s.assignStats,
+		passHook: s.assignPassHook,
 		lastUsed: s.cfg.now(),
 		ready:    make(chan struct{}),
 	}
 	c.entries[e.digest] = d
 	c.evictOverflowLocked()
 	c.mu.Unlock()
-	s.assignStats.cacheMisses.Add(1)
+	s.assignStats.recordCacheLookup(false)
 
 	eng, err := infer.NewEngine(e.model, infer.Options{
 		TopK:    e.model.K,         // responses trim to the requested top_k
@@ -175,14 +180,162 @@ func (s *Server) dropEngine(digest string) {
 	c.mu.Unlock()
 }
 
-// assignCounters are the monotone /healthz assign counters.
+// Shed reasons — the label values of genclus_assign_shed_total and the
+// vocabulary of overloadError.reason.
+const (
+	shedQueueFull = "queue_full"
+	shedInFlight  = "in_flight"
+	shedRateLimit = "rate_limit"
+)
+
+// codeOverloaded is the machine-readable error code on 429 responses from
+// assign admission control; clients should back off (the response carries
+// Retry-After) and retry.
+const codeOverloaded = "overloaded"
+
+// overloadError is an admission-control rejection: which limiter shed the
+// request and how long the client should wait before retrying.
+type overloadError struct {
+	reason     string
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *overloadError) Error() string { return e.msg }
+
+// assignCounters are the monotone /healthz assign counters. They used to
+// be independent atomics, which let /healthz observe torn combinations — a
+// snapshot with batched_requests > requests, taken between a pass's
+// individual increments. All increments for one event now happen inside a
+// single critical section, and snapshot() reads under the same lock, so
+// every snapshot is a state the counters actually passed through. The
+// same increments mirror into the /metrics registry (met; nil in unit
+// tests that build dispatchers by hand).
 type assignCounters struct {
-	requests    atomic.Int64
-	objects     atomic.Int64
-	batched     atomic.Int64
-	passes      atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
+	mu          sync.Mutex
+	requests    int64
+	objects     int64
+	batched     int64
+	passes      int64
+	cacheHits   int64
+	cacheMisses int64
+	shed        int64
+
+	met *serverMetrics
+}
+
+// recordPass accounts one engine pass of `requests` coalesced calls
+// scoring `objects` query objects.
+func (c *assignCounters) recordPass(requests, objects int, coalesced bool, elapsed time.Duration) {
+	c.mu.Lock()
+	c.passes++
+	c.requests += int64(requests)
+	c.objects += int64(objects)
+	if coalesced {
+		c.batched += int64(requests)
+	}
+	c.mu.Unlock()
+	if c.met != nil {
+		c.met.assignPasses.Inc()
+		c.met.assignRequests.Add(int64(requests))
+		c.met.assignObjects.Add(int64(objects))
+		if coalesced {
+			c.met.assignBatched.Add(int64(requests))
+		}
+		c.met.assignOccupancy.Observe(float64(objects))
+		c.met.assignPassSecs.Observe(elapsed.Seconds())
+	}
+}
+
+// recordCacheLookup accounts one engine-cache lookup by digest.
+func (c *assignCounters) recordCacheLookup(hit bool) {
+	c.mu.Lock()
+	if hit {
+		c.cacheHits++
+	} else {
+		c.cacheMisses++
+	}
+	c.mu.Unlock()
+	if c.met != nil {
+		if hit {
+			c.met.assignCacheHits.Inc()
+		} else {
+			c.met.assignCacheMisses.Inc()
+		}
+	}
+}
+
+// recordShed accounts one admission-control rejection.
+func (c *assignCounters) recordShed(reason string) {
+	c.mu.Lock()
+	c.shed++
+	c.mu.Unlock()
+	if c.met != nil {
+		if ctr, ok := c.met.assignShed[reason]; ok {
+			ctr.Inc()
+		}
+	}
+}
+
+// queueDepthAdd moves the /metrics queued-objects gauge; the healthz block
+// has no queue-depth field (it is instantaneous, not monotone).
+func (c *assignCounters) queueDepthAdd(n int) {
+	if c.met != nil {
+		c.met.assignQueueDepth.Add(int64(n))
+	}
+}
+
+// snapshot reads all counters in one critical section — the /healthz (and
+// parity-test) view. Monotone invariants like batched_requests ≤ requests
+// hold in every snapshot.
+func (c *assignCounters) snapshot() assignStatsResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return assignStatsResponse{
+		Requests:          c.requests,
+		Objects:           c.objects,
+		BatchedRequests:   c.batched,
+		EnginePasses:      c.passes,
+		EngineCacheHits:   c.cacheHits,
+		EngineCacheMisses: c.cacheMisses,
+		ShedRequests:      c.shed,
+	}
+}
+
+// tokenBucket is the optional assign admission rate limiter: rate tokens
+// per second, holding at most burst. It uses the server's clock hook so
+// tests can drive it deterministically.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), now: now}
+}
+
+// take consumes one token if available; otherwise it reports how long
+// until one accrues.
+func (b *tokenBucket) take() (wait time.Duration, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.now()
+	if !b.last.IsZero() {
+		b.tokens += t.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = t
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	return time.Duration((1 - b.tokens) / b.rate * float64(time.Second)), false
 }
 
 // assignCall is one request's slot in a dispatcher batch.
@@ -209,7 +362,13 @@ type assignDispatcher struct {
 	eng      *infer.Engine
 	window   time.Duration
 	maxBatch int
+	// maxQueue bounds the query objects in pending (0: unbounded);
+	// enqueues past it fail with a typed overloadError so the pending list
+	// cannot grow without limit behind a slow pass.
+	maxQueue int
 	stats    *assignCounters
+	// passHook, when set (tests), runs at the start of every engine pass.
+	passHook func()
 
 	// ready closes once the engine build finished (dispatcher fills eng or
 	// buildErr first); cache readers that found a reserved entry wait on it.
@@ -218,6 +377,7 @@ type assignDispatcher struct {
 
 	mu           sync.Mutex
 	pending      []*assignCall
+	queued       int // query objects across pending
 	leaderActive bool
 
 	// lastUsed drives the engine cache's LRU eviction (guarded by the
@@ -232,14 +392,35 @@ type assignDispatcher struct {
 // was scoring to a detached drainer goroutine. The engine still only ever
 // runs on one goroutine at a time (leaderActive), it just stops being the
 // goroutine of a request that already has its answer.
-func (d *assignDispatcher) do(call *assignCall) {
+//
+// Enqueueing past maxQueue pending query objects fails immediately with a
+// typed overloadError (shed, not queued): under a wedged or slow pass the
+// pending list stays bounded and clients get a fast 429 instead of a slow
+// timeout against unbounded memory growth.
+func (d *assignDispatcher) do(call *assignCall) error {
 	call.done = make(chan struct{})
 	d.mu.Lock()
+	if d.maxQueue > 0 && d.queued+len(call.queries) > d.maxQueue {
+		d.mu.Unlock()
+		retry := time.Second
+		if d.window > retry {
+			retry = d.window
+		}
+		return &overloadError{
+			reason:     shedQueueFull,
+			msg:        fmt.Sprintf("assign queue full (%d objects pending, cap %d)", d.queued, d.maxQueue),
+			retryAfter: retry,
+		}
+	}
 	d.pending = append(d.pending, call)
+	d.queued += len(call.queries)
+	if d.stats != nil {
+		d.stats.queueDepthAdd(len(call.queries))
+	}
 	if d.leaderActive {
 		d.mu.Unlock()
 		<-call.done
-		return
+		return nil
 	}
 	d.leaderActive = true
 	d.mu.Unlock()
@@ -249,6 +430,7 @@ func (d *assignDispatcher) do(call *assignCall) {
 	}
 	d.drainRound()
 	<-call.done
+	return nil
 }
 
 // drainRound scores everything pending in one round, then either retires
@@ -260,6 +442,11 @@ func (d *assignDispatcher) drainRound() {
 	d.mu.Lock()
 	batch := d.pending
 	d.pending = nil
+	taken := d.queued
+	d.queued = 0
+	if d.stats != nil && taken > 0 {
+		d.stats.queueDepthAdd(-taken)
+	}
 	if len(batch) == 0 {
 		d.leaderActive = false
 		d.mu.Unlock()
@@ -331,12 +518,13 @@ func (d *assignDispatcher) runGroup(group []*assignCall, total int) {
 	for _, call := range group {
 		flat = append(flat, call.queries...)
 	}
+	if d.passHook != nil {
+		d.passHook()
+	}
+	start := time.Now()
 	out, err := d.eng.AssignBatch(flat)
-	d.stats.passes.Add(1)
-	d.stats.requests.Add(int64(len(group)))
-	d.stats.objects.Add(int64(total))
-	if len(group) > 1 {
-		d.stats.batched.Add(int64(len(group)))
+	if d.stats != nil {
+		d.stats.recordPass(len(group), total, len(group) > 1, time.Since(start))
 	}
 	off := 0
 	for _, call := range group {
@@ -356,6 +544,36 @@ func (d *assignDispatcher) runGroup(group []*assignCall, total int) {
 // ---- handler ----
 
 func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	// Admission control runs before any decoding: a shed request costs the
+	// server almost nothing. Order: rate limit (policy), then the global
+	// in-flight cap (protects everything below), then the per-model queue
+	// bound inside do().
+	if lim := s.assignLimiter; lim != nil {
+		if wait, ok := lim.take(); !ok {
+			s.rejectOverloaded(w, &overloadError{
+				reason:     shedRateLimit,
+				msg:        "assign rate limit exceeded",
+				retryAfter: wait,
+			})
+			return
+		}
+	}
+	if max := int64(s.cfg.MaxAssignInFlight); max > 0 {
+		if s.assignInFlight.Add(1) > max {
+			s.assignInFlight.Add(-1)
+			s.rejectOverloaded(w, &overloadError{
+				reason:     shedInFlight,
+				msg:        fmt.Sprintf("too many assign requests in flight (cap %d)", max),
+				retryAfter: time.Second,
+			})
+			return
+		}
+		s.metrics.assignInFlight.Add(1)
+		defer func() {
+			s.assignInFlight.Add(-1)
+			s.metrics.assignInFlight.Add(-1)
+		}()
+	}
 	e, ok := s.lookupModel(w, r)
 	if !ok {
 		return
@@ -388,7 +606,15 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		topK = d.eng.K()
 	}
 	call := &assignCall{queries: queries, topK: topK}
-	d.do(call)
+	if err := d.do(call); err != nil {
+		var oe *overloadError
+		if errors.As(err, &oe) {
+			s.rejectOverloaded(w, oe)
+			return
+		}
+		writeAssignError(w, err)
+		return
+	}
 	if call.err != nil {
 		writeAssignError(w, call.err)
 		return
@@ -421,14 +647,15 @@ func writeAssignError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusInternalServerError, "%v", err)
 }
 
-// assignStatsSnapshot renders the healthz block.
-func (s *Server) assignStatsSnapshot() assignStatsResponse {
-	return assignStatsResponse{
-		Requests:          s.assignStats.requests.Load(),
-		Objects:           s.assignStats.objects.Load(),
-		BatchedRequests:   s.assignStats.batched.Load(),
-		EnginePasses:      s.assignStats.passes.Load(),
-		EngineCacheHits:   s.assignStats.cacheHits.Load(),
-		EngineCacheMisses: s.assignStats.cacheMisses.Load(),
+// rejectOverloaded answers an admission-control shed: counts it, sets
+// Retry-After (whole seconds, rounded up, at least 1), and writes the
+// typed 429 body.
+func (s *Server) rejectOverloaded(w http.ResponseWriter, oe *overloadError) {
+	s.assignStats.recordShed(oe.reason)
+	secs := int((oe.retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
 	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeErrorCode(w, http.StatusTooManyRequests, codeOverloaded, "%s", oe.msg)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -154,12 +155,14 @@ func (j *job) publishProgress(p core.Progress) {
 }
 
 // finish transitions the job to a terminal state (idempotent: the first
-// terminal transition wins) and releases waiters.
-func (j *job) finish(state jobState, errMsg string, now time.Time) {
+// terminal transition wins) and releases waiters. It reports whether THIS
+// call performed the transition, so exactly one caller accounts the
+// terminal state even when a cancel races a worker.
+func (j *job) finish(state jobState, errMsg string, now time.Time) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state == jobDone || j.state == jobFailed || j.state == jobCancelled {
-		return
+		return false
 	}
 	j.state = state
 	j.errMsg = errMsg
@@ -171,6 +174,7 @@ func (j *job) finish(state jobState, errMsg string, now time.Time) {
 	j.opts.InitGamma = nil
 	j.opts.InitAttrs = nil
 	close(j.done)
+	return true
 }
 
 // errQueueFull rejects submissions when the bounded queue has no room.
@@ -187,6 +191,11 @@ type manager struct {
 	// published — the server hooks model registration and persistence here,
 	// so "done" already implies "durable".
 	onDone func(j *job, finished time.Time)
+	// met and log, when set by the server, receive per-job observability:
+	// queue-wait and run-time histograms, terminal-state counters, EM
+	// iteration counts, and structured start/finish lines keyed by job ID.
+	met *serverMetrics
+	log *slog.Logger
 
 	ctx  context.Context
 	stop context.CancelFunc
@@ -233,8 +242,8 @@ func (m *manager) cancelJob(j *job) {
 	if cancel != nil {
 		cancel()
 	}
-	if queued {
-		j.finish(jobCancelled, "cancelled before start", m.now())
+	if queued && j.finish(jobCancelled, "cancelled before start", m.now()) {
+		m.countTerminal(j, jobCancelled, "cancelled before start")
 	}
 }
 
@@ -247,10 +256,34 @@ func (m *manager) close() {
 	for {
 		select {
 		case j := <-m.queue:
-			j.finish(jobCancelled, "server shutting down", m.now())
+			if j.finish(jobCancelled, "server shutting down", m.now()) {
+				m.countTerminal(j, jobCancelled, "server shutting down")
+			}
 		default:
 			return
 		}
+	}
+}
+
+// countTerminal accounts one terminal transition this caller performed —
+// the state counter plus a structured log line keyed by job ID. Callers
+// that know the job ran also observe run time via observeRun.
+func (m *manager) countTerminal(j *job, state jobState, errMsg string) {
+	if m.met != nil {
+		if c, ok := m.met.fitJobs[state]; ok {
+			c.Inc()
+		}
+	}
+	if m.log != nil {
+		level := slog.LevelInfo
+		if state == jobFailed {
+			level = slog.LevelWarn
+		}
+		m.log.LogAttrs(context.Background(), level, "job finished",
+			slog.String("job", j.id),
+			slog.String("state", string(state)),
+			slog.String("error", errMsg),
+		)
 	}
 }
 
@@ -272,7 +305,10 @@ func (m *manager) run(j *job) {
 	// other recover between it and the process.
 	defer func() {
 		if r := recover(); r != nil {
-			j.finish(jobFailed, fmt.Sprintf("fit panicked: %v", r), m.now())
+			msg := fmt.Sprintf("fit panicked: %v", r)
+			if j.finish(jobFailed, msg, m.now()) {
+				m.countTerminal(j, jobFailed, msg)
+			}
 		}
 	}()
 	jctx, cancel := context.WithCancel(m.ctx)
@@ -285,12 +321,35 @@ func (m *manager) run(j *job) {
 	}
 	j.state = jobRunning
 	j.started = m.now()
+	started := j.started
 	j.cancel = cancel
 	j.mu.Unlock()
+	if m.met != nil {
+		m.met.fitQueueWait.Observe(started.Sub(j.created).Seconds())
+	}
+	if m.log != nil {
+		m.log.LogAttrs(context.Background(), slog.LevelInfo, "job started",
+			slog.String("job", j.id),
+			slog.String("network", j.networkID),
+			slog.Duration("queue_wait", started.Sub(j.created)),
+		)
+	}
+	// finishRun settles a job this worker actually started: the terminal
+	// transition plus run-time observation (metrics only count a
+	// transition this call performed — a racing cancel already counted).
+	finishRun := func(state jobState, errMsg string, finished time.Time) {
+		if !j.finish(state, errMsg, finished) {
+			return
+		}
+		if m.met != nil {
+			m.met.fitRun.Observe(finished.Sub(started).Seconds())
+		}
+		m.countTerminal(j, state, errMsg)
+	}
 
 	net, ok := m.store.network(j.networkID)
 	if !ok {
-		j.finish(jobFailed, "network "+j.networkID+" evicted before the job ran", m.now())
+		finishRun(jobFailed, "network "+j.networkID+" evicted before the job ran", m.now())
 		return
 	}
 
@@ -314,15 +373,18 @@ func (m *manager) run(j *job) {
 		if m.onDone != nil {
 			m.onDone(j, finished)
 		}
-		j.finish(jobDone, "", finished)
+		if m.met != nil {
+			m.met.fitEMIters.Observe(float64(res.EMIterations))
+		}
+		finishRun(jobDone, "", finished)
 	case errors.Is(err, context.Canceled):
 		msg := "cancelled"
 		if m.ctx.Err() != nil {
 			msg = "server shutting down"
 		}
-		j.finish(jobCancelled, msg, m.now())
+		finishRun(jobCancelled, msg, m.now())
 	default:
-		j.finish(jobFailed, err.Error(), m.now())
+		finishRun(jobFailed, err.Error(), m.now())
 	}
 }
 

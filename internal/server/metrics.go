@@ -1,0 +1,235 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"genclus/internal/metrics"
+)
+
+// The operations layer: GET /metrics serves every counter the daemon
+// tracks in the Prometheus text exposition format, fed by a small
+// dependency-free registry (internal/metrics). Instruments are created
+// once at New and held on serverMetrics, so hot-path increments are plain
+// atomics — instrumentation cannot move the EM-iteration or assign-pass
+// steady states off 0 allocs/op. Every route is wrapped by instrument(),
+// which also assigns the per-request ID that structured logs thread
+// through jobs, persistence and the assign dispatcher, and applies the
+// per-route write deadline (SSE streams exempt — they are supposed to
+// outlive any single write budget).
+
+// serverMetrics holds every pre-registered instrument. The assign
+// counters mirror the /healthz assign block (incremented together, inside
+// the same critical section — see assignCounters); the parity between the
+// two surfaces is pinned by TestHealthzMetricsParity.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	// Per-route HTTP request durations, keyed by "METHOD /path" from the
+	// route table. Request counts carry a code label too and are created
+	// on demand (the code space is small and data-independent).
+	httpDurations map[string]*metrics.Histogram
+
+	fitQueueWait *metrics.Histogram // submit → fit start, seconds
+	fitRun       *metrics.Histogram // fit start → terminal, seconds
+	fitEMIters   *metrics.Histogram // EM iterations per finished fit
+	fitJobs      map[jobState]*metrics.Counter
+
+	assignRequests    *metrics.Counter
+	assignObjects     *metrics.Counter
+	assignBatched     *metrics.Counter
+	assignPasses      *metrics.Counter
+	assignCacheHits   *metrics.Counter
+	assignCacheMisses *metrics.Counter
+	assignShed        map[string]*metrics.Counter // by shed reason
+	assignOccupancy   *metrics.Histogram          // query objects per engine pass
+	assignPassSecs    *metrics.Histogram          // engine pass latency, seconds
+	assignQueueDepth  *metrics.Gauge              // queued query objects across dispatchers
+	assignInFlight    *metrics.Gauge              // requests inside admission control
+
+	persistFailures *metrics.Counter
+}
+
+// newServerMetrics registers the full instrument inventory (see
+// docs/ARCHITECTURE.md, "Operations") against a fresh registry. Gauges
+// that shadow existing server state (queue depth, registry sizes, job
+// states) are computed at scrape time from the same structures /healthz
+// reads.
+func (s *Server) newServerMetrics() *serverMetrics {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{
+		reg:           reg,
+		httpDurations: make(map[string]*metrics.Histogram),
+		fitQueueWait: reg.Histogram("genclus_fit_queue_wait_seconds",
+			"Time a fit job spent queued before a worker picked it up.", metrics.DurationBuckets()),
+		fitRun: reg.Histogram("genclus_fit_run_seconds",
+			"Wall-clock fit time from start to terminal state.", metrics.DurationBuckets()),
+		fitEMIters: reg.Histogram("genclus_fit_em_iterations",
+			"EM iterations a finished fit executed (warm starts should sit far left of cold).", metrics.CountBuckets()),
+		fitJobs: map[jobState]*metrics.Counter{},
+		assignRequests: reg.Counter("genclus_assign_requests_total",
+			"Assign requests that reached an engine pass."),
+		assignObjects: reg.Counter("genclus_assign_objects_total",
+			"Query objects scored across all assign requests."),
+		assignBatched: reg.Counter("genclus_assign_batched_requests_total",
+			"Assign requests whose engine pass was shared with at least one other request."),
+		assignPasses: reg.Counter("genclus_assign_engine_passes_total",
+			"Shared inference engine passes executed."),
+		assignCacheHits: reg.Counter("genclus_assign_engine_cache_hits_total",
+			"Per-model inference engine cache hits (by snapshot digest)."),
+		assignCacheMisses: reg.Counter("genclus_assign_engine_cache_misses_total",
+			"Per-model inference engine cache misses (engines built)."),
+		assignShed: map[string]*metrics.Counter{},
+		assignOccupancy: reg.Histogram("genclus_assign_pass_occupancy",
+			"Query objects coalesced into one engine pass.", metrics.CountBuckets()),
+		assignPassSecs: reg.Histogram("genclus_assign_pass_seconds",
+			"Inference engine pass latency.", metrics.DurationBuckets()),
+		assignQueueDepth: reg.Gauge("genclus_assign_queue_depth",
+			"Query objects queued behind busy assign dispatchers."),
+		assignInFlight: reg.Gauge("genclus_assign_in_flight",
+			"Assign requests currently inside admission control."),
+		persistFailures: reg.Counter("genclus_persist_failures_total",
+			"Fits whose snapshot or job record failed to reach the data dir (durability degraded)."),
+	}
+	for _, st := range []jobState{jobDone, jobFailed, jobCancelled} {
+		m.fitJobs[st] = reg.Counter("genclus_fit_jobs_total",
+			"Fit jobs by terminal state.", "state", string(st))
+	}
+	for _, reason := range []string{shedQueueFull, shedInFlight, shedRateLimit} {
+		m.assignShed[reason] = reg.Counter("genclus_assign_shed_total",
+			"Assign requests rejected with 429 by admission control, by reason.", "reason", reason)
+	}
+	for _, rt := range s.routes() {
+		key := rt.Method + " " + rt.Path
+		m.httpDurations[key] = reg.Histogram("genclus_http_request_duration_seconds",
+			"HTTP request duration by route.", metrics.DurationBuckets(), "route", key)
+	}
+	reg.GaugeFunc("genclus_fit_queue_depth",
+		"Fit jobs waiting in the bounded queue.",
+		func() float64 { return float64(len(s.manager.queue)) })
+	reg.GaugeFunc("genclus_networks",
+		"Stored (non-evicted) networks.",
+		func() float64 { return float64(s.store.numNetworks()) })
+	reg.GaugeFunc("genclus_models",
+		"Registered models.",
+		func() float64 { return float64(s.store.numModels()) })
+	for _, st := range []jobState{jobQueued, jobRunning, jobDone, jobFailed, jobCancelled} {
+		st := st
+		reg.GaugeFunc("genclus_jobs",
+			"Jobs in the job table by state.",
+			func() float64 { return float64(s.store.jobCounts()[st]) },
+			"state", string(st))
+	}
+	return m
+}
+
+// httpRequestCounter is the on-demand {route, code} request counter; the
+// label space is bounded by the route table times the handful of status
+// codes the handlers emit.
+func (m *serverMetrics) httpRequestCounter(route string, code int) *metrics.Counter {
+	return m.reg.Counter("genclus_http_requests_total",
+		"HTTP requests by route and status code.", "route", route, "code", strconv.Itoa(code))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.ContentType)
+	s.metrics.reg.WritePrometheus(w)
+}
+
+// ---- request IDs + per-route middleware ----
+
+// requestIDKey carries the middleware-assigned request ID through the
+// handler's context, so logs emitted deeper in the stack (job submission,
+// persistence) can join up with the request line.
+type requestIDKey struct{}
+
+// requestID returns the request's middleware-assigned ID, "" outside a
+// request context.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// statusWriter records the response status for the request log and
+// metrics. It deliberately does NOT implement http.Flusher itself —
+// flushWriter adds that only when the underlying writer supports it, so
+// the SSE handler's capability check still answers honestly.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// deadline and flush controls through the wrapper.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// flushWriter is statusWriter plus the Flusher capability, used when the
+// wrapped writer has it.
+type flushWriter struct{ *statusWriter }
+
+// Flush implements http.Flusher by delegating to the wrapped writer.
+func (fw flushWriter) Flush() { fw.statusWriter.ResponseWriter.(http.Flusher).Flush() }
+
+// instrument wraps one route's handler with the operations envelope:
+// write deadline (non-SSE routes only — an events stream may legitimately
+// live for the whole fit), request ID assignment, status capture, the
+// per-route request counter and duration histogram, and one structured
+// log line per request. Request logs are Debug level (high volume; turn
+// them on with -log-level debug), promoted to Warn on 5xx — a server
+// fault should be visible at default verbosity.
+func (s *Server) instrument(rt Route) http.HandlerFunc {
+	routeKey := rt.Method + " " + rt.Path
+	duration := s.metrics.httpDurations[routeKey]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if !rt.sse && s.cfg.WriteTimeout > 0 {
+			// Per-route write deadline: a dead or deliberately slow reader
+			// cannot hold a plain endpoint's connection (and its handler
+			// goroutine) open forever. ErrNotSupported (exotic wrappers,
+			// some test writers) just means no deadline — same as before.
+			_ = http.NewResponseController(w).SetWriteDeadline(start.Add(s.cfg.WriteTimeout))
+		}
+		reqID := newID("req")
+		ctx := context.WithValue(r.Context(), requestIDKey{}, reqID)
+		sw := &statusWriter{ResponseWriter: w}
+		var ww http.ResponseWriter = sw
+		if _, ok := w.(http.Flusher); ok {
+			ww = flushWriter{sw}
+		}
+		rt.handler(ww, r.WithContext(ctx))
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		duration.Observe(elapsed.Seconds())
+		s.metrics.httpRequestCounter(routeKey, code).Inc()
+		level := slog.LevelDebug
+		if code >= 500 {
+			level = slog.LevelWarn
+		}
+		s.log.LogAttrs(ctx, level, "http request",
+			slog.String("req", reqID),
+			slog.String("route", routeKey),
+			slog.Int("status", code),
+			slog.Duration("elapsed", elapsed),
+		)
+	}
+}

@@ -1,8 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
-	"log"
+	"log/slog"
 	"time"
 
 	"genclus/internal/core"
@@ -106,11 +107,22 @@ func (s *Server) persistFinishedJob(j *job, finished time.Time) {
 	}
 }
 
-// persistFailure is the degraded-durability signal: one log line per
-// failure plus a monotonic counter surfaced on /healthz.
+// persistFailure is the degraded-durability signal: one structured log
+// line per failure plus a monotonic counter surfaced on both /healthz
+// (persist_failures) and /metrics (genclus_persist_failures_total).
 func (s *Server) persistFailure(what string, err error) {
 	s.persistFailures.Add(1)
-	log.Printf("genclusd: persistence degraded: %s: %v", what, err)
+	if s.metrics != nil {
+		s.metrics.persistFailures.Inc()
+	}
+	logger := s.log
+	if logger == nil {
+		logger = slog.Default()
+	}
+	logger.LogAttrs(context.Background(), slog.LevelError, "persistence degraded",
+		slog.String("what", what),
+		slog.String("error", err.Error()),
+	)
 }
 
 // dropPersistedJob removes a TTL-evicted job's record from disk (the model

@@ -19,6 +19,7 @@
 //	POST   /v1/models/{id}/assign fold new objects into a model (online inference)
 //	POST   /v1/models/import      register an uploaded snapshot → metadata
 //	GET    /healthz               liveness plus queue statistics
+//	GET    /metrics               Prometheus text-format metrics
 //
 // Registered models also serve online inference: POST
 // /v1/models/{id}/assign folds batches of new objects — links to known
@@ -51,6 +52,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -112,6 +114,30 @@ type Config struct {
 	// 64); least-recently-used engines are dropped beyond it and rebuilt
 	// on demand.
 	MaxAssignEngines int
+	// MaxAssignQueue bounds, per model, the query objects queued behind a
+	// busy dispatcher (default 4×MaxAssignBatch; negative disables the
+	// bound). Requests past the cap are shed with 429 "overloaded" instead
+	// of growing the pending list without limit.
+	MaxAssignQueue int
+	// MaxAssignInFlight caps assign requests concurrently inside admission
+	// control across all models (default 1024; negative disables).
+	// Overflow is shed with 429 "overloaded".
+	MaxAssignInFlight int
+	// AssignRPS, when positive, rate-limits assign admissions to this many
+	// requests per second via a token bucket of AssignBurst tokens
+	// (default burst: max(1, ceil(AssignRPS))). Zero disables.
+	AssignRPS   float64
+	AssignBurst int
+
+	// WriteTimeout is the per-request write deadline applied to every
+	// non-streaming route (default 1m; negative disables). SSE event
+	// streams are exempt — they legitimately outlive any single write
+	// budget and are bounded by drain/TTL instead.
+	WriteTimeout time.Duration
+	// Logger receives structured request, job, and persistence logs (nil:
+	// slog.Default()). Per-request lines are Debug level; degraded
+	// durability and 5xx responses log at Warn/Error.
+	Logger *slog.Logger
 
 	// DataDir, when set, makes finished fits durable: model snapshots and
 	// job records are written crash-safely under it and replayed at
@@ -195,6 +221,36 @@ func (c Config) withDefaults() Config {
 	if c.MaxAssignEngines <= 0 {
 		c.MaxAssignEngines = 64
 	}
+	if c.MaxAssignQueue == 0 {
+		c.MaxAssignQueue = 4 * c.MaxAssignBatch
+	}
+	if c.MaxAssignQueue < 0 {
+		c.MaxAssignQueue = 0 // disabled
+	}
+	if c.MaxAssignInFlight == 0 {
+		c.MaxAssignInFlight = 1024
+	}
+	if c.MaxAssignInFlight < 0 {
+		c.MaxAssignInFlight = 0 // disabled
+	}
+	if c.AssignRPS > 0 && c.AssignBurst <= 0 {
+		c.AssignBurst = int(c.AssignRPS)
+		if float64(c.AssignBurst) < c.AssignRPS {
+			c.AssignBurst++
+		}
+		if c.AssignBurst < 1 {
+			c.AssignBurst = 1
+		}
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = time.Minute
+	}
+	if c.WriteTimeout < 0 {
+		c.WriteTimeout = 0 // disabled
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -218,10 +274,22 @@ type Server struct {
 	persistFailures atomic.Int64
 	// assignCache holds the per-model inference engines behind their
 	// micro-batching dispatchers (see assign.go); assignStats are the
-	// monotone /healthz assign counters.
+	// monotone /healthz assign counters, snapshotted consistently under
+	// one lock and mirrored into /metrics.
 	assignCache assignEngines
 	assignStats assignCounters
-	sweeper     chan struct{} // closed by Close to stop the janitor
+	// assignInFlight counts assign requests inside admission control;
+	// assignLimiter is the optional token-bucket rate limiter (nil: off).
+	assignInFlight atomic.Int64
+	assignLimiter  *tokenBucket
+	// assignPassHook, when set (tests), runs at the start of every engine
+	// pass — it lets overload tests hold a pass open deterministically.
+	assignPassHook func()
+	// log and metrics are the operations surface: structured logs and the
+	// /metrics instrument registry (see metrics.go).
+	log     *slog.Logger
+	metrics *serverMetrics
+	sweeper chan struct{} // closed by Close to stop the janitor
 	// draining closes when event streams must end (DrainStreams/Close).
 	// Without it, a live SSE connection would hold http.Server.Shutdown
 	// open for its whole timeout.
@@ -258,8 +326,16 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.manager = newManager(st, cfg.Workers, cfg.QueueDepth, cfg.now)
 	s.manager.onDone = s.persistFinishedJob
+	s.log = cfg.Logger
+	s.metrics = s.newServerMetrics()
+	s.assignStats.met = s.metrics
+	s.manager.met = s.metrics
+	s.manager.log = s.log
+	if cfg.AssignRPS > 0 {
+		s.assignLimiter = newTokenBucket(cfg.AssignRPS, cfg.AssignBurst, cfg.now)
+	}
 	for _, rt := range s.routes() {
-		s.mux.HandleFunc(rt.Method+" "+rt.Path, rt.handler)
+		s.mux.HandleFunc(rt.Method+" "+rt.Path, s.instrument(rt))
 	}
 	go s.janitor()
 	return s, nil
@@ -274,6 +350,9 @@ type Route struct {
 	Path   string
 
 	handler http.HandlerFunc
+	// sse marks long-lived streaming routes, which the instrument
+	// middleware exempts from the per-request write deadline.
+	sse bool
 }
 
 // routes is the single route table both the mux and Routes are built from.
@@ -283,7 +362,7 @@ func (s *Server) routes() []Route {
 		{Method: "POST", Path: "/v1/jobs", handler: s.handleSubmitJob},
 		{Method: "GET", Path: "/v1/jobs/{id}", handler: s.handleJobStatus},
 		{Method: "GET", Path: "/v1/jobs/{id}/result", handler: s.handleJobResult},
-		{Method: "GET", Path: "/v1/jobs/{id}/events", handler: s.handleJobEvents},
+		{Method: "GET", Path: "/v1/jobs/{id}/events", handler: s.handleJobEvents, sse: true},
 		{Method: "DELETE", Path: "/v1/jobs/{id}", handler: s.handleCancelJob},
 		{Method: "GET", Path: "/v1/models", handler: s.handleListModels},
 		{Method: "POST", Path: "/v1/models/import", handler: s.handleImportModel},
@@ -292,6 +371,7 @@ func (s *Server) routes() []Route {
 		{Method: "GET", Path: "/v1/models/{id}/export", handler: s.handleExportModel},
 		{Method: "POST", Path: "/v1/models/{id}/assign", handler: s.handleAssign},
 		{Method: "GET", Path: "/healthz", handler: s.handleHealthz},
+		{Method: "GET", Path: "/metrics", handler: s.handleMetrics},
 	}
 }
 
@@ -666,6 +746,14 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.store.addJob(j)
+	// The submit log line joins the request ID and the job ID — the only
+	// place both are in hand — so the job's later start/finish lines can be
+	// traced back to the originating request.
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "job submitted",
+		slog.String("req", requestID(r.Context())),
+		slog.String("job", j.id),
+		slog.String("network", req.NetworkID),
+	)
 	writeJSON(w, http.StatusAccepted, s.jobResponse(j))
 }
 
@@ -807,6 +895,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Models:          s.store.numModels(),
 		Jobs:            s.store.jobCounts(),
 		PersistFailures: s.persistFailures.Load(),
-		Assign:          s.assignStatsSnapshot(),
+		Assign:          s.assignStats.snapshot(),
 	})
 }

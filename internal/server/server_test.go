@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -60,9 +61,13 @@ func testNetworkJSON(t *testing.T, perTopic int, seed int64) ([]byte, map[string
 }
 
 // testServer spins up the service behind httptest and tears it down with
-// the test.
+// the test. Structured logs are discarded unless the config brings its own
+// logger — tests assert on responses and metrics, not log text.
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
