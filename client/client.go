@@ -293,6 +293,9 @@ type Health struct {
 	// request/object volume, micro-batching ratio, and engine cache
 	// effectiveness.
 	Assign AssignStats `json:"assign"`
+	// Mutation surfaces the server's streaming-mutation counters: mutation
+	// volume, delta-log depth, live supervisors, and auto-refit totals.
+	Mutation MutationStats `json:"mutation"`
 }
 
 // ModelInfo is one registry entry of the /v1/models API: identity and

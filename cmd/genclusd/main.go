@@ -12,13 +12,27 @@
 //	         [-max-body 33554432] [-data-dir DIR] [-max-models 1024]
 //	         [-assign-batch-window 2ms] [-assign-max-batch 256]
 //	         [-assign-max-queue N] [-assign-max-inflight 1024]
-//	         [-assign-rps 0] [-read-timeout 2m] [-write-timeout 1m]
+//	         [-assign-rps 0] [-supervisor-max-pending 32]
+//	         [-supervisor-drift 0.25] [-supervisor-interval 5s]
+//	         [-read-timeout 2m] [-write-timeout 1m]
 //	         [-idle-timeout 2m] [-log-format text|json] [-log-level info]
 //
 // With -data-dir, fitted state is durable: every finished fit's model
 // snapshot and job record are written crash-safely under DIR before the job
 // reports done, and a restarted daemon — including one killed with SIGKILL —
 // recovers and serves them again. Without it the daemon is memory-only.
+//
+// Uploaded networks keep evolving in place through the streaming mutation
+// API (POST /v1/networks/{id}/edges, POST /v1/networks/{id}/objects, PATCH
+// /v1/networks/{id}/attributes): each mutation is appended to a crash-safe
+// per-network delta log (replayed on restart with -data-dir) and published
+// as a new immutable view generation, so in-flight fits and assigns are
+// never disturbed. A background supervisor watches every mutated network
+// and auto-refits it — warm-started from the previous model — when the
+// uncovered mutation count reaches -supervisor-max-pending or the fold-in
+// drift estimate crosses -supervisor-drift, re-evaluating every
+// -supervisor-interval; GET /v1/networks/{id}/supervisor reports its
+// progress.
 //
 // Registered models serve online inference via POST
 // /v1/models/{id}/assign: batches of new objects fold into a model's
@@ -72,6 +86,9 @@ func main() {
 		assignInFlight = flag.Int("assign-max-inflight", 0, "global cap on concurrent assign requests; overflow is shed with 429 (default 1024, -1 unbounded)")
 		assignRPS      = flag.Float64("assign-rps", 0, "token-bucket rate limit on assign admissions, requests per second (0 disables)")
 		assignBurst    = flag.Int("assign-burst", 0, "token-bucket burst for -assign-rps (default: assign-rps rounded up)")
+		supPending     = flag.Int("supervisor-max-pending", 0, "mutations a network may accumulate before the supervisor auto-refits it (default 32, -1 disables the pending trigger)")
+		supDrift       = flag.Float64("supervisor-drift", 0, "fold-in drift score in [0,1] beyond which the supervisor auto-refits a mutated network (default 0.25, -1 disables the drift trigger)")
+		supInterval    = flag.Duration("supervisor-interval", 0, "how often the supervisor re-evaluates drift and pending depth on mutated networks (default 5s)")
 		readTimeout    = flag.Duration("read-timeout", 2*time.Minute, "http.Server ReadTimeout: full-request read budget (0 disables)")
 		writeTimeout   = flag.Duration("write-timeout", time.Minute, "per-request write deadline on non-streaming routes; SSE event streams are exempt (0 disables)")
 		idleTimeout    = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections (0 disables)")
@@ -97,20 +114,23 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Workers:           *workers,
-		QueueDepth:        *queue,
-		JobTTL:            *ttl,
-		MaxBodyBytes:      *maxBody,
-		DataDir:           *dataDir,
-		MaxModels:         *maxModels,
-		AssignBatchWindow: window,
-		MaxAssignBatch:    *assignMaxBatch,
-		MaxAssignQueue:    *assignMaxQueue,
-		MaxAssignInFlight: *assignInFlight,
-		AssignRPS:         *assignRPS,
-		AssignBurst:       *assignBurst,
-		WriteTimeout:      wt,
-		Logger:            logger,
+		Workers:                  *workers,
+		QueueDepth:               *queue,
+		JobTTL:                   *ttl,
+		MaxBodyBytes:             *maxBody,
+		DataDir:                  *dataDir,
+		MaxModels:                *maxModels,
+		AssignBatchWindow:        window,
+		MaxAssignBatch:           *assignMaxBatch,
+		MaxAssignQueue:           *assignMaxQueue,
+		MaxAssignInFlight:        *assignInFlight,
+		AssignRPS:                *assignRPS,
+		AssignBurst:              *assignBurst,
+		SupervisorMaxPending:     *supPending,
+		SupervisorDriftThreshold: *supDrift,
+		SupervisorInterval:       *supInterval,
+		WriteTimeout:             wt,
+		Logger:                   logger,
 	})
 	if err != nil {
 		logger.Error("startup failed", "error", err)
@@ -122,6 +142,8 @@ func main() {
 			"dir", *dataDir,
 			"models", rec.Models,
 			"jobs", rec.Jobs,
+			"networks", rec.Networks,
+			"mutations", rec.Mutations,
 			"skipped", rec.SkippedBlobs,
 			"orphans", rec.OrphanRecords,
 		)

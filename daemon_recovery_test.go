@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -152,7 +153,7 @@ func TestDaemonKillRecover(t *testing.T) {
 	}
 
 	// Phase 2: restart on the same data dir; the fit must still be there.
-	startDaemon(t, bin, addr, dataDir)
+	proc2 := startDaemon(t, bin, addr, dataDir)
 
 	recovered, err := c.JobStatus(ctx, job.ID)
 	if err != nil {
@@ -218,7 +219,148 @@ func TestDaemonKillRecover(t *testing.T) {
 		t.Fatalf("unknown job after recovery: %v", err)
 	}
 
+	// Phase 3: SIGKILL mid-mutation-burst. A goroutine streams the burst
+	// into the re-uploaded network while the daemon is killed after at
+	// least three acks — an acked mutation is durable (the delta log fsyncs
+	// before responding), so whatever generation the burst reached must
+	// survive verbatim; an unacked in-flight mutation may or may not have
+	// landed, and either is fine.
+	steps := mutationBurst(c, info2.ID)
+	var acked atomic.Int32
+	burstDone := make(chan struct{})
+	go func() {
+		defer close(burstDone)
+		for _, step := range steps {
+			if err := step(ctx); err != nil {
+				return // the kill severed the connection mid-burst
+			}
+			acked.Add(1)
+		}
+	}()
+	for acked.Load() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := proc2.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc2.Process.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	<-burstDone
+
+	// Phase 4: restart again; the delta log replays on top of the network
+	// base and the view comes back at the exact durable generation.
+	startDaemon(t, bin, addr, dataDir)
+	st, err := c.SupervisorStatus(ctx, info2.ID)
+	if err != nil {
+		t.Fatalf("supervisor status after mutation recovery: %v", err)
+	}
+	gen := st.Generation
+	if gen < int(acked.Load()) || gen > len(steps) {
+		t.Fatalf("recovered generation %d outside [%d, %d]", gen, acked.Load(), len(steps))
+	}
+	if st.DeltaLogDepth != gen {
+		t.Fatalf("recovered delta log depth %d != generation %d", st.DeltaLogDepth, gen)
+	}
+
+	// A refit of the recovered view must be bitwise-identical to a refit of
+	// an uninterrupted network that applied the same mutation prefix with
+	// no crash in between. Meta (job id, timestamps) legitimately differs,
+	// so compare the canonical meta-free encodings of the decoded models.
+	info3, err := c.UploadNetwork(ctx, nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, step := range mutationBurst(c, info3.ID)[:gen] {
+		if err := step(ctx); err != nil {
+			t.Fatalf("uninterrupted burst step %d: %v", i, err)
+		}
+	}
+	canonical := func(networkID string) []byte {
+		t.Helper()
+		job, err := c.SubmitJob(ctx, client.JobSpec{NetworkID: networkID, WarmStartFromModel: status.ModelID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.WaitForResult(ctx, job.ID); err != nil {
+			t.Fatal(err)
+		}
+		js, err := c.JobStatus(ctx, job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := c.ExportModel(ctx, js.ModelID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := genclus.DecodeModel(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := genclus.EncodeModel(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc
+	}
+	recoveredFit := canonical(info2.ID)
+	uninterruptedFit := canonical(info3.ID)
+	if !bytes.Equal(recoveredFit, uninterruptedFit) {
+		t.Fatalf("refit after crash recovery diverges from uninterrupted refit: %d vs %d bytes",
+			len(recoveredFit), len(uninterruptedFit))
+	}
+
 	// Double-check nothing about recovery left the binary's stderr dirty
 	// enough to hide a panic (the daemon logs recovery stats on startup).
 	_ = os.Remove(bin)
+}
+
+// mutationBurst returns a deterministic mutation sequence against netID,
+// each step valid exactly when every earlier step has applied — so any
+// prefix of it reproduces the generation a crash truncated the burst at.
+func mutationBurst(c *client.Client, netID string) []func(context.Context) error {
+	return []func(context.Context) error{
+		func(ctx context.Context) error {
+			_, err := c.AddObjects(ctx, netID,
+				[]client.NewObject{{ID: "m0", Type: "doc", Terms: map[string][]client.TermCount{"text": {{Term: 1, Count: 2}}}}},
+				[]client.Edge{{From: "m0", To: "doc0_000", Relation: "cites", Weight: 1}})
+			return err
+		},
+		func(ctx context.Context) error {
+			_, err := c.AddEdges(ctx, netID, []client.Edge{{From: "m0", To: "doc1_000", Relation: "cites", Weight: 1}})
+			return err
+		},
+		func(ctx context.Context) error {
+			_, err := c.AddObjects(ctx, netID,
+				[]client.NewObject{{ID: "m1", Type: "doc"}},
+				[]client.Edge{{From: "m1", To: "m0", Relation: "cites", Weight: 2}})
+			return err
+		},
+		func(ctx context.Context) error {
+			_, err := c.PatchAttributes(ctx, netID, []client.AttributePatch{
+				{ID: "doc0_000", Terms: map[string][]client.TermCount{"text": {{Term: 3, Count: 4}}}},
+			})
+			return err
+		},
+		func(ctx context.Context) error {
+			_, err := c.RemoveEdges(ctx, netID, []client.EdgeRef{{From: "doc0_000", To: "doc0_001", Relation: "cites"}})
+			return err
+		},
+		func(ctx context.Context) error {
+			_, err := c.AddEdges(ctx, netID, []client.Edge{{From: "m1", To: "doc1_005", Relation: "follows", Weight: 1.5}})
+			return err
+		},
+		func(ctx context.Context) error {
+			_, err := c.PatchAttributes(ctx, netID, []client.AttributePatch{
+				{ID: "doc1_000", Terms: map[string][]client.TermCount{"text": {}}},
+			})
+			return err
+		},
+		func(ctx context.Context) error {
+			_, err := c.AddObjects(ctx, netID,
+				[]client.NewObject{{ID: "m2", Type: "doc", Terms: map[string][]client.TermCount{"text": {{Term: 7, Count: 1}}}}},
+				[]client.Edge{{From: "m2", To: "m1", Relation: "follows", Weight: 1}})
+			return err
+		},
+	}
 }

@@ -1,0 +1,148 @@
+// Mutate example: the continuous-clustering workflow. A genclusd daemon is
+// started in-process, a citation network is uploaded and fitted once, and
+// then the network starts changing — new papers arrive through the
+// streaming mutation API, each publishing a new immutable view generation.
+// The daemon's supervisor notices the pending mutations, warm-starts a
+// refit from the previous model in the background, and publishes the
+// rolled-forward model; the client polls SupervisorStatus until the
+// auto-refit lands and folds a brand-new query into it with /assign. No
+// endpoint is ever taken offline: assigns against the old model keep
+// working throughout, and the refit's warm start costs a fraction of the
+// original cold fit.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"log/slog"
+	"net/http/httptest"
+	"time"
+
+	"genclus"
+	"genclus/client"
+	"genclus/internal/server"
+)
+
+// build assembles a two-community citation network: perTopic papers per
+// community with disjoint vocabulary blocks and within-community citations.
+func build(perTopic int) *genclus.Network {
+	b := genclus.NewBuilder()
+	b.DeclareAttribute(genclus.AttrSpec{Name: "title", Kind: genclus.Categorical, VocabSize: 40})
+	for topic := 0; topic < 2; topic++ {
+		ids := make([]string, perTopic)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("paper-t%d-%04d", topic, i)
+			b.AddObject(ids[i], "paper")
+			for w := 0; w < 10; w++ {
+				b.AddTermCount(ids[i], "title", topic*20+(i+w)%20, 1)
+			}
+		}
+		for i, id := range ids {
+			b.AddLink(id, ids[(i+1)%perTopic], "cites", 1)
+			b.AddLink(id, ids[(i+7)%perTopic], "cites", 1)
+		}
+	}
+	net, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return net
+}
+
+func main() {
+	// An in-process daemon stands in for a deployed genclusd; everything
+	// below talks to it through the SDK exactly as a remote client would.
+	srv, err := server.New(server.Config{
+		Workers:              2,
+		SupervisorMaxPending: 3, // auto-refit after 3 uncovered mutations
+		SupervisorInterval:   50 * time.Millisecond,
+		Logger:               slog.New(slog.DiscardHandler),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	net := build(120)
+	info, err := c.UploadNetwork(ctx, net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded network %s: %d objects, %d links\n", info.ID, info.Objects, info.Links)
+
+	seed := int64(1)
+	job, err := c.SubmitJob(ctx, client.JobSpec{
+		NetworkID: info.ID, K: 2,
+		Options: &client.JobOptions{Seed: &seed},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.WaitForResult(ctx, job.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	status, err := c.JobStatus(ctx, job.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold fit:  %d EM iterations, model %s\n", res.EMIterations, status.ModelID)
+
+	// The network evolves: three batches of new papers arrive, each citing
+	// into one community. Each mutation publishes a new view generation
+	// without interrupting anything already running.
+	for batch := 0; batch < 3; batch++ {
+		topic := batch % 2
+		id := fmt.Sprintf("late-t%d-%04d", topic, batch)
+		mr, err := c.AddObjects(ctx, info.ID,
+			[]client.NewObject{{
+				ID: id, Type: "paper",
+				Terms: map[string][]client.TermCount{"title": {{Term: topic*20 + batch, Count: 3}}},
+			}},
+			[]client.Edge{
+				{From: id, To: fmt.Sprintf("paper-t%d-%04d", topic, batch), Relation: "cites", Weight: 1},
+				{From: id, To: fmt.Sprintf("paper-t%d-%04d", topic, batch+5), Relation: "cites", Weight: 1},
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("mutation:  +%s → generation %d (%d objects, delta log depth %d)\n",
+			id, mr.Generation, mr.Objects, mr.DeltaLogDepth)
+	}
+
+	// The third mutation reached SupervisorMaxPending; the supervisor
+	// warm-starts a refit of the generation-3 view in the background.
+	var st *client.SupervisorStatus
+	for {
+		if st, err = c.SupervisorStatus(ctx, info.ID); err != nil {
+			log.Fatal(err)
+		}
+		if st.RefitsSucceeded >= 1 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("auto-refit: generation %d covered, rolled-forward model %s (drift %.3f)\n",
+		st.LastRefitGeneration, st.LastModelID, st.DriftScore)
+
+	// A brand-new paper folds into the rolled-forward model — which has
+	// already absorbed the late arrivals, so citing only a late paper is
+	// enough to place it.
+	ar, err := c.AssignObjects(ctx, st.LastModelID, client.AssignRequest{
+		TopK: 2,
+		Objects: []client.AssignObject{{
+			ID:    "fresh-query",
+			Links: []client.AssignLink{{Relation: "cites", To: "late-t0-0000", Weight: 1}},
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := ar.Assignments[0]
+	fmt.Printf("assign:    %s → cluster %d  θ=%.4f\n", a.ID, a.Cluster, a.Theta)
+}

@@ -1,0 +1,210 @@
+package deltalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"genclus/internal/hin"
+	"genclus/internal/store"
+)
+
+// Bucket is the blob-store bucket delta logs live in, next to "models" and
+// "jobs" under the daemon's -data-dir.
+const Bucket = "deltas"
+
+// recordName is the blob id of one log record: "<netID>.<seq>" with the
+// sequence zero-padded so List's lexicographic order is replay order.
+func recordName(netID string, seq int) string {
+	return fmt.Sprintf("%s.%08d", netID, seq)
+}
+
+// Log is one network's append-only mutation log. Every record rides the
+// internal/store envelope — CRC-32C checksummed, written temp+fsync+rename
+// — so a nil Append means the mutation is durable (done ⇒ durable), and a
+// SIGKILL at any point leaves a valid contiguous prefix. A Log with a nil
+// blob store tracks depth in memory only (the daemon without -data-dir);
+// mutations still apply, they just do not survive a restart.
+//
+// Append serializes internally; the caller additionally serializes whole
+// mutations per network (decode→apply→append→publish) so sequence numbers
+// match publication order.
+type Log struct {
+	blobs *store.Store // nil → memory-only
+	netID string
+
+	mu   sync.Mutex
+	next int // next sequence number == records appended so far
+}
+
+// Open attaches a log for one network, scanning existing records to resume
+// the sequence after a restart. A nil blobs store yields a memory-only log.
+func Open(blobs *store.Store, netID string) (*Log, error) {
+	l := &Log{blobs: blobs, netID: netID}
+	if blobs == nil {
+		return l, nil
+	}
+	seqs, err := l.listSeqs()
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) > 0 {
+		l.next = seqs[len(seqs)-1] + 1
+	}
+	return l, nil
+}
+
+// listSeqs returns this network's record sequence numbers, ascending.
+func (l *Log) listSeqs() ([]int, error) {
+	ids, err := l.blobs.List(Bucket)
+	if err != nil {
+		return nil, err
+	}
+	prefix := l.netID + "."
+	var seqs []int
+	for _, id := range ids {
+		if !strings.HasPrefix(id, prefix) {
+			continue
+		}
+		seq, err := strconv.Atoi(strings.TrimPrefix(id, prefix))
+		if err != nil || seq < 0 {
+			continue // not a record of ours
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// Append assigns the mutation the next sequence number and, when backed by
+// disk, writes it through the store's atomic-Put discipline. The sequence
+// advances even when the disk write fails — the live view moved regardless
+// — so a degraded daemon keeps serving; replay later recovers the durable
+// contiguous prefix and discards anything past the first gap.
+func (l *Log) Append(m *Mutation) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq := l.next
+	l.next++
+	if l.blobs == nil {
+		return seq, nil
+	}
+	data, err := m.Encode()
+	if err != nil {
+		return seq, err
+	}
+	return seq, l.blobs.Put(Bucket, recordName(l.netID, seq), data)
+}
+
+// Depth returns the number of records appended over the log's lifetime
+// (including any that failed to reach disk — see Append).
+func (l *Log) Depth() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Replay feeds the durable contiguous prefix of records — sequence 0
+// upward, stopping at the first missing or corrupt record — to fn in
+// order, deletes anything past the prefix (records after a gap can no
+// longer be applied consistently), and resets the sequence so the next
+// Append continues the prefix. fn returning an error stops the replay and
+// truncates there too: what fn refused, and everything after it, is gone.
+// Returns the number of records applied.
+func (l *Log) Replay(lim hin.Limits, fn func(seq int, m *Mutation) error) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.blobs == nil {
+		return 0, nil
+	}
+	applied := 0
+	for {
+		data, err := l.blobs.Get(Bucket, recordName(l.netID, applied))
+		if err != nil {
+			if errors.Is(err, store.ErrNotFound) {
+				break
+			}
+			var corrupt *store.CorruptError
+			if errors.As(err, &corrupt) {
+				break // torn tail or damaged record: the prefix ends here
+			}
+			return applied, err
+		}
+		m, err := DecodeRecord(data, lim)
+		if err != nil {
+			break
+		}
+		if err := fn(applied, m); err != nil {
+			break
+		}
+		applied++
+	}
+	// Drop everything past the replayed prefix so stale post-gap records
+	// cannot resurface in a later recovery.
+	seqs, err := l.listSeqs()
+	if err != nil {
+		return applied, err
+	}
+	for _, seq := range seqs {
+		if seq >= applied {
+			if err := l.blobs.Delete(Bucket, recordName(l.netID, seq)); err != nil && !errors.Is(err, store.ErrNotFound) {
+				return applied, err
+			}
+		}
+	}
+	l.next = applied
+	return applied, nil
+}
+
+// Purge removes every record of this network from disk — the eviction
+// path: once the network itself is gone its log is garbage, and leaving it
+// behind would resurrect a stale network on the next restart. The
+// underlying deletes fsync the bucket directory, so a returned nil means
+// the log is durably gone.
+func (l *Log) Purge() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.blobs == nil {
+		return nil
+	}
+	seqs, err := l.listSeqs()
+	if err != nil {
+		return err
+	}
+	for _, seq := range seqs {
+		if err := l.blobs.Delete(Bucket, recordName(l.netID, seq)); err != nil && !errors.Is(err, store.ErrNotFound) {
+			return err
+		}
+	}
+	return nil
+}
+
+// ListNetworkIDs scans the bucket and returns the distinct network IDs that
+// have at least one log record — the recovery entry point.
+func ListNetworkIDs(blobs *store.Store) ([]string, error) {
+	ids, err := blobs.List(Bucket)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, id := range ids {
+		dot := strings.LastIndexByte(id, '.')
+		if dot <= 0 {
+			continue
+		}
+		if _, err := strconv.Atoi(id[dot+1:]); err != nil {
+			continue
+		}
+		netID := id[:dot]
+		if !seen[netID] {
+			seen[netID] = true
+			out = append(out, netID)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

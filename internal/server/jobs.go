@@ -10,6 +10,7 @@ import (
 
 	"genclus/internal/core"
 	"genclus/internal/eval"
+	"genclus/internal/hin"
 )
 
 // jobState is the lifecycle of a fit job.
@@ -50,6 +51,16 @@ type job struct {
 	opts      core.Options
 	truth     []int // dense-index ground truth, -1 = unlabeled; nil when absent
 	created   time.Time
+	// generation is the network's mutation generation captured at submit —
+	// the base-generation provenance recorded on the fitted model's
+	// snapshot meta (0 for never-mutated networks). net pins the exact
+	// view of that generation: mutations applied between submit and run
+	// must not leak into the fit, or the recorded provenance would lie
+	// and warm-start refits would stop being reproducible. Released (under
+	// mu) when the job finishes, so a finished job does not pin a whole
+	// network view for its TTL.
+	generation int
+	net        *hin.Network
 
 	mu       sync.Mutex
 	state    jobState
@@ -169,10 +180,12 @@ func (j *job) finish(state jobState, errMsg string, now time.Time) bool {
 	j.finished = now
 	// Drop warm-start payloads: a warm-started job's options carry a full
 	// |V|×K InitTheta (plus attribute models), which would otherwise sit on
-	// the finished job until TTL eviction. The fit holds its own copy.
+	// the finished job until TTL eviction. The fit holds its own copy. The
+	// pinned network view goes for the same reason.
 	j.opts.InitTheta = nil
 	j.opts.InitGamma = nil
 	j.opts.InitAttrs = nil
+	j.net = nil
 	close(j.done)
 	return true
 }
@@ -323,6 +336,7 @@ func (m *manager) run(j *job) {
 	j.started = m.now()
 	started := j.started
 	j.cancel = cancel
+	pinned := j.net
 	j.mu.Unlock()
 	if m.met != nil {
 		m.met.fitQueueWait.Observe(started.Sub(j.created).Seconds())
@@ -347,10 +361,17 @@ func (m *manager) run(j *job) {
 		m.countTerminal(j, state, errMsg)
 	}
 
-	net, ok := m.store.network(j.networkID)
-	if !ok {
-		finishRun(jobFailed, "network "+j.networkID+" evicted before the job ran", m.now())
-		return
+	// A job submitted with a pinned view (every submission since mutation
+	// support) fits exactly the generation it captured; the lookup is the
+	// fallback for jobs constructed without one (tests, older paths).
+	net := pinned
+	if net == nil {
+		var ok bool
+		net, ok = m.store.network(j.networkID)
+		if !ok {
+			finishRun(jobFailed, "network "+j.networkID+" evicted before the job ran", m.now())
+			return
+		}
 	}
 
 	opts := j.opts

@@ -50,6 +50,11 @@ type serverMetrics struct {
 	assignQueueDepth  *metrics.Gauge              // queued query objects across dispatchers
 	assignInFlight    *metrics.Gauge              // requests inside admission control
 
+	networkMutations          *metrics.Counter
+	supervisorRefitsTriggered *metrics.Counter
+	supervisorRefitsSucceeded *metrics.Counter
+	supervisorRefitsFailed    *metrics.Counter
+
 	persistFailures *metrics.Counter
 }
 
@@ -91,6 +96,14 @@ func (s *Server) newServerMetrics() *serverMetrics {
 			"Query objects queued behind busy assign dispatchers."),
 		assignInFlight: reg.Gauge("genclus_assign_in_flight",
 			"Assign requests currently inside admission control."),
+		networkMutations: reg.Counter("genclus_network_mutations_total",
+			"Accepted network mutations (edges, objects, attributes) across all networks."),
+		supervisorRefitsTriggered: reg.Counter("genclus_supervisor_refits_triggered_total",
+			"Incremental refit jobs submitted by continuous-clustering supervisors."),
+		supervisorRefitsSucceeded: reg.Counter("genclus_supervisor_refits_succeeded_total",
+			"Supervisor-triggered refits that finished done and published a model."),
+		supervisorRefitsFailed: reg.Counter("genclus_supervisor_refits_failed_total",
+			"Supervisor-triggered refits that failed, were cancelled, or could not be prepared."),
 		persistFailures: reg.Counter("genclus_persist_failures_total",
 			"Fits whose snapshot or job record failed to reach the data dir (durability degraded)."),
 	}
@@ -116,6 +129,15 @@ func (s *Server) newServerMetrics() *serverMetrics {
 	reg.GaugeFunc("genclus_models",
 		"Registered models.",
 		func() float64 { return float64(s.store.numModels()) })
+	reg.GaugeFunc("genclus_deltalog_depth",
+		"Durable delta-log records pending across all mutated networks.",
+		func() float64 { return float64(s.store.deltaDepth()) })
+	reg.GaugeFunc("genclus_supervisors",
+		"Continuous-clustering supervisors currently running.",
+		func() float64 { return float64(s.store.numSupervisors()) })
+	reg.GaugeFunc("genclus_supervisor_drift_score",
+		"Most recent drift score any supervisor computed (mean TV distance, 0..1).",
+		func() float64 { return s.mutationStats.driftScore() })
 	for _, st := range []jobState{jobQueued, jobRunning, jobDone, jobFailed, jobCancelled} {
 		st := st
 		reg.GaugeFunc("genclus_jobs",

@@ -113,6 +113,14 @@ var healthzMetricNames = map[string]string{
 	"assign.engine_cache_hits":   "genclus_assign_engine_cache_hits_total",
 	"assign.engine_cache_misses": "genclus_assign_engine_cache_misses_total",
 	"assign.shed_requests":       "genclus_assign_shed_total",
+
+	"mutation.mutations":        "genclus_network_mutations_total",
+	"mutation.delta_log_depth":  "genclus_deltalog_depth",
+	"mutation.supervisors":      "genclus_supervisors",
+	"mutation.drift_score":      "genclus_supervisor_drift_score",
+	"mutation.refits_triggered": "genclus_supervisor_refits_triggered_total",
+	"mutation.refits_succeeded": "genclus_supervisor_refits_succeeded_total",
+	"mutation.refits_failed":    "genclus_supervisor_refits_failed_total",
 }
 
 // healthzNonCounters are healthz fields that are liveness/config metadata,
@@ -139,11 +147,15 @@ func TestHealthzMetricsParity(t *testing.T) {
 			if f.Type == reflect.TypeOf(assignStatsResponse{}) {
 				continue // flattened below under "assign."
 			}
+			if f.Type == reflect.TypeOf(mutationStatsResponse{}) {
+				continue // flattened below under "mutation."
+			}
 			fields = append(fields, prefix+tag)
 		}
 	}
 	collect("", reflect.TypeOf(healthResponse{}))
 	collect("assign.", reflect.TypeOf(assignStatsResponse{}))
+	collect("mutation.", reflect.TypeOf(mutationStatsResponse{}))
 
 	for _, f := range fields {
 		if healthzNonCounters[f] {

@@ -80,6 +80,11 @@ const (
 	metaJobID         = "job_id"
 	metaNetworkID     = "network_id"
 	metaOptionsDigest = "options_digest"
+	// metaNetworkGeneration is base-generation provenance: the source
+	// network's mutation generation the fit ran against (0 for
+	// never-mutated networks). Free-form meta — no codec change — so
+	// older snapshots simply lack the key.
+	metaNetworkGeneration = "network_generation"
 )
 
 // snapshotLimits derives the import trust-boundary caps from the server's

@@ -4,9 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"log/slog"
+	"strconv"
 	"time"
 
 	"genclus/internal/core"
+	"genclus/internal/deltalog"
+	"genclus/internal/hin"
 	"genclus/internal/snapshot"
 )
 
@@ -66,11 +69,12 @@ func (s *Server) persistFinishedJob(j *job, finished time.Time) {
 		return
 	}
 	meta := map[string]string{
-		metaCreated:          finished.UTC().Format(time.RFC3339Nano),
-		metaJobID:            j.id,
-		metaNetworkID:        j.networkID,
-		metaOptionsDigest:    snapshot.OptionsDigest(j.opts),
-		snapshot.MetaEpsilon: snapshot.FormatEpsilon(j.opts.Epsilon),
+		metaCreated:           finished.UTC().Format(time.RFC3339Nano),
+		metaJobID:             j.id,
+		metaNetworkID:         j.networkID,
+		metaNetworkGeneration: strconv.Itoa(j.generation),
+		metaOptionsDigest:     snapshot.OptionsDigest(j.opts),
+		snapshot.MetaEpsilon:  snapshot.FormatEpsilon(j.opts.Epsilon),
 	}
 	entry, err := s.registerModel(snap.result, meta, finished, j.id, j.networkID)
 	if err != nil {
@@ -137,6 +141,8 @@ func (s *Server) dropPersistedJob(id string) {
 type RecoveryStats struct {
 	Models        int // models restored into the registry
 	Jobs          int // finished jobs restored into the job table
+	Networks      int // mutated networks rebuilt from base + delta log
+	Mutations     int // delta-log records replayed across those networks
 	SkippedBlobs  int // corrupt or undecodable artifacts left in place
 	OrphanRecords int // job records whose model snapshot is gone
 }
@@ -240,6 +246,78 @@ func (s *Server) recoverFromDisk() error {
 		close(j.done)
 		s.store.addJob(j)
 		s.recovered.Jobs++
+	}
+	return s.recoverNetworks()
+}
+
+// recoverNetworks rebuilds every mutated network from its persisted base
+// document plus the durable contiguous prefix of its delta log — sequence
+// 0 upward, stopping at the first gap, torn record or inconsistent apply,
+// and truncating the log there — so the restored network is exactly some
+// acknowledged generation and the next mutation continues the sequence. A
+// SIGKILL mid-mutation therefore loses nothing acknowledged. Delta
+// records without a base (a crash between base-put and first append, or a
+// base that rotted) are purged: they can never be applied again.
+func (s *Server) recoverNetworks() error {
+	baseIDs, err := s.blobs.List(bucketNetworks)
+	if err != nil {
+		return err
+	}
+	based := make(map[string]bool, len(baseIDs))
+	for _, id := range baseIDs {
+		based[id] = true
+		data, err := s.blobs.Get(bucketNetworks, id)
+		if err != nil {
+			s.recovered.SkippedBlobs++
+			continue
+		}
+		net, err := hin.FromJSONLimited(data, s.cfg.Limits)
+		if err != nil {
+			s.recovered.SkippedBlobs++
+			continue
+		}
+		dl, err := deltalog.Open(s.blobs, id)
+		if err != nil {
+			s.recovered.SkippedBlobs++
+			continue
+		}
+		applied, err := dl.Replay(s.cfg.Limits, func(seq int, m *deltalog.Mutation) error {
+			next, err := deltalog.Apply(net, m)
+			if err != nil {
+				return err
+			}
+			if err := s.cfg.Limits.CheckNetwork(next); err != nil {
+				return err
+			}
+			net = next
+			return nil
+		})
+		if err != nil {
+			s.recovered.SkippedBlobs++
+			continue
+		}
+		net.PrepareCSR()
+		s.store.restoreNetwork(id, net, applied, dl)
+		s.recovered.Networks++
+		s.recovered.Mutations += applied
+	}
+	logIDs, err := deltalog.ListNetworkIDs(s.blobs)
+	if err != nil {
+		return err
+	}
+	for _, id := range logIDs {
+		if based[id] {
+			continue
+		}
+		dl, err := deltalog.Open(s.blobs, id)
+		if err == nil {
+			err = dl.Purge()
+		}
+		if err != nil {
+			s.recovered.SkippedBlobs++
+		} else {
+			s.recovered.OrphanRecords++
+		}
 	}
 	return nil
 }

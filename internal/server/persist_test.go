@@ -345,7 +345,8 @@ func TestEvictedJobAnswersTypedCode(t *testing.T) {
 
 	jobID, _ := finishJob(t, ts, 6)
 	clock.Advance(2 * time.Minute)
-	for _, id := range s.store.sweep() {
+	evicted, _ := s.store.sweep()
+	for _, id := range evicted {
 		s.dropPersistedJob(id)
 	}
 

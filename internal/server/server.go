@@ -7,6 +7,10 @@
 // The API surface (all request/response bodies are JSON):
 //
 //	POST   /v1/networks           upload a network (hin JSON format) → {id}
+//	POST   /v1/networks/{id}/edges      add/remove links (streaming mutation)
+//	POST   /v1/networks/{id}/objects    add objects with links and observations
+//	PATCH  /v1/networks/{id}/attributes replace per-object observations
+//	GET    /v1/networks/{id}/supervisor continuous-clustering supervisor status
 //	POST   /v1/jobs               submit a fit     → {id, state}
 //	GET    /v1/jobs/{id}          job status and progress
 //	GET    /v1/jobs/{id}/result   fitted model (409 until the job is done)
@@ -27,6 +31,14 @@
 // hidden space without refitting, with concurrent requests coalesced into
 // shared engine passes (see assign.go and docs/ARCHITECTURE.md,
 // "Inference").
+//
+// Uploaded networks are not frozen: the mutation endpoints stream edge,
+// object and attribute changes into new immutable view generations,
+// append them to a crash-safe per-network delta log (replayed at
+// startup), and wake a continuous-clustering supervisor that schedules
+// warm-start refits once the live view drifts from the newest model (see
+// mutate.go, supervisor.go and docs/ARCHITECTURE.md, "Continuous
+// clustering").
 //
 // A job submission may name a finished job in warm_start_from, or a
 // registered model in warm_start_from_model: the new fit is then
@@ -148,6 +160,23 @@ type Config struct {
 	// it evicts the oldest models from memory and disk.
 	MaxModels int
 
+	// SupervisorMaxPending triggers an automatic warm-start refit of a
+	// mutated network once this many mutations accumulated since the last
+	// refit was scheduled (default 32; negative disables the depth
+	// trigger).
+	SupervisorMaxPending int
+	// SupervisorDriftThreshold triggers a refit once the drift score —
+	// mean total-variation distance between touched objects' fold-in
+	// posteriors and the newest model's memberships, in [0, 1] — reaches
+	// it (default 0.25; negative disables the drift trigger).
+	SupervisorDriftThreshold float64
+	// SupervisorInterval is the supervisor's evaluation cadence between
+	// mutation-driven wakeups (default 5s).
+	SupervisorInterval time.Duration
+	// SupervisorDisabled turns continuous clustering off entirely: no
+	// supervisor goroutines start, mutations still apply and log.
+	SupervisorDisabled bool
+
 	// now is the test clock hook; nil means time.Now.
 	now func() time.Time
 }
@@ -242,6 +271,21 @@ func (c Config) withDefaults() Config {
 			c.AssignBurst = 1
 		}
 	}
+	if c.SupervisorMaxPending == 0 {
+		c.SupervisorMaxPending = 32
+	}
+	if c.SupervisorMaxPending < 0 {
+		c.SupervisorMaxPending = 0 // disabled
+	}
+	if c.SupervisorDriftThreshold == 0 {
+		c.SupervisorDriftThreshold = 0.25
+	}
+	if c.SupervisorDriftThreshold < 0 {
+		c.SupervisorDriftThreshold = 0 // disabled
+	}
+	if c.SupervisorInterval <= 0 {
+		c.SupervisorInterval = 5 * time.Second
+	}
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = time.Minute
 	}
@@ -285,6 +329,9 @@ type Server struct {
 	// assignPassHook, when set (tests), runs at the start of every engine
 	// pass — it lets overload tests hold a pass open deterministically.
 	assignPassHook func()
+	// mutationStats are the monotone /healthz mutation counters (see
+	// mutate.go), mirrored into /metrics like assignStats.
+	mutationStats mutationCounters
 	// log and metrics are the operations surface: structured logs and the
 	// /metrics instrument registry (see metrics.go).
 	log     *slog.Logger
@@ -329,6 +376,7 @@ func New(cfg Config) (*Server, error) {
 	s.log = cfg.Logger
 	s.metrics = s.newServerMetrics()
 	s.assignStats.met = s.metrics
+	s.mutationStats.met = s.metrics
 	s.manager.met = s.metrics
 	s.manager.log = s.log
 	if cfg.AssignRPS > 0 {
@@ -336,6 +384,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	for _, rt := range s.routes() {
 		s.mux.HandleFunc(rt.Method+" "+rt.Path, s.instrument(rt))
+	}
+	// Resume supervision of recovered mutated networks now that metrics
+	// and the manager exist (their first evaluation waits for mutations or
+	// the first tick).
+	for id, e := range st.mutatedNetworks() {
+		s.ensureSupervisor(id, e)
 	}
 	go s.janitor()
 	return s, nil
@@ -359,6 +413,10 @@ type Route struct {
 func (s *Server) routes() []Route {
 	return []Route{
 		{Method: "POST", Path: "/v1/networks", handler: s.handleUploadNetwork},
+		{Method: "POST", Path: "/v1/networks/{id}/edges", handler: s.handleMutateEdges},
+		{Method: "POST", Path: "/v1/networks/{id}/objects", handler: s.handleMutateObjects},
+		{Method: "PATCH", Path: "/v1/networks/{id}/attributes", handler: s.handleMutateAttributes},
+		{Method: "GET", Path: "/v1/networks/{id}/supervisor", handler: s.handleSupervisorStatus},
 		{Method: "POST", Path: "/v1/jobs", handler: s.handleSubmitJob},
 		{Method: "GET", Path: "/v1/jobs/{id}", handler: s.handleJobStatus},
 		{Method: "GET", Path: "/v1/jobs/{id}/result", handler: s.handleJobResult},
@@ -394,13 +452,19 @@ func (s *Server) DrainStreams() {
 	s.drainOnce.Do(func() { close(s.draining) })
 }
 
-// Close stops the janitor and the worker pool, cancelling running fits,
-// ending live event streams, and waiting for worker goroutines to exit.
-// Idempotent.
+// Close stops the janitor, the continuous-clustering supervisors and the
+// worker pool, cancelling running fits, ending live event streams, and
+// waiting for worker and supervisor goroutines to exit. Idempotent.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.DrainStreams()
 		close(s.sweeper)
+		// Supervisors drain before the manager so none can schedule a
+		// refit into a closing queue (a job close would cancel anyway —
+		// this just keeps shutdown quiet and deterministic).
+		for _, sup := range s.store.closeSupervisors() {
+			sup.halt()
+		}
 		s.manager.close()
 	})
 }
@@ -413,8 +477,12 @@ func (s *Server) janitor() {
 		case <-s.sweeper:
 			return
 		case <-t.C:
-			for _, id := range s.store.sweep() {
+			jobs, nets := s.store.sweep()
+			for _, id := range jobs {
 				s.dropPersistedJob(id)
+			}
+			for id, e := range nets {
+				s.retireNetwork(id, e)
 			}
 		}
 	}
@@ -581,6 +649,10 @@ type healthResponse struct {
 	// volume, the micro-batching coalescing ratio, and engine-cache
 	// effectiveness.
 	Assign assignStatsResponse `json:"assign"`
+	// Mutation surfaces the streaming-mutation and continuous-clustering
+	// counters: mutation volume, delta-log depth, live supervisors, the
+	// latest drift score, and supervisor refit outcomes.
+	Mutation mutationStatsResponse `json:"mutation"`
 }
 
 // ---- handlers ----
@@ -665,7 +737,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parse job request: %v", err)
 		return
 	}
-	net, ok := s.store.network(req.NetworkID)
+	net, generation, ok := s.store.networkForJob(req.NetworkID)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown network %q", req.NetworkID)
 		return
@@ -733,13 +805,15 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 
 	j := &job{
-		id:        newID("job"),
-		networkID: req.NetworkID,
-		opts:      opts,
-		truth:     truth,
-		created:   s.cfg.now(),
-		state:     jobQueued,
-		done:      make(chan struct{}),
+		id:         newID("job"),
+		networkID:  req.NetworkID,
+		opts:       opts,
+		truth:      truth,
+		created:    s.cfg.now(),
+		generation: generation,
+		net:        net,
+		state:      jobQueued,
+		done:       make(chan struct{}),
 	}
 	if err := s.manager.submit(j); err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -896,5 +970,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Jobs:            s.store.jobCounts(),
 		PersistFailures: s.persistFailures.Load(),
 		Assign:          s.assignStats.snapshot(),
+		Mutation:        s.mutationStats.snapshot(s.store),
 	})
 }
