@@ -97,13 +97,24 @@ func (e *APIError) Error() string {
 
 // Is routes errors.Is through the server's error code, so a 404 on a
 // TTL-evicted job matches ErrJobEvicted while a never-existed job does
-// not, and a 429 from assign admission control matches ErrOverloaded.
+// not, and a 429 from assign admission control matches ErrOverloaded. A
+// gateway-ish status (502/503/504) matches ErrUnavailable — the same
+// signal a connection-level failure raises — so failover logic needs only
+// one errors.Is test, and a 403 in replica read-only mode matches
+// ErrReadOnlyReplica.
 func (e *APIError) Is(target error) bool {
 	switch target {
 	case ErrJobEvicted:
 		return e.Code == codeJobEvicted
 	case ErrOverloaded:
 		return e.Code == codeOverloaded
+	case ErrReadOnlyReplica:
+		return e.Code == codeReadOnlyReplica
+	case ErrUnavailable:
+		switch e.StatusCode {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
 	}
 	return false
 }
@@ -115,12 +126,23 @@ const codeJobEvicted = "job_evicted"
 // control.
 const codeOverloaded = "overloaded"
 
+// codeReadOnlyReplica is the server's error code on 403s from mutating
+// routes of a read-only replica.
+const codeReadOnlyReplica = "read_only_replica"
+
 // ErrOverloaded reports that the service shed the request under load (a
 // full assign queue, the global in-flight cap, or the configured rate
 // limit) with a 429. Idempotent requests retry automatically, honoring the
 // server's Retry-After; test with errors.Is — the concrete error remains
 // an *APIError carrying the server message and RetryAfter.
 var ErrOverloaded = errors.New("genclusd: overloaded, retry later")
+
+// ErrReadOnlyReplica reports a write sent to a read-only replica (a
+// genclusd running with -replica-of): the server answered 403 with code
+// "read_only_replica". Route the request to the primary instead — a
+// MultiEndpoint does so automatically. Test with errors.Is; the concrete
+// error remains an *APIError with the full server message.
+var ErrReadOnlyReplica = errors.New("genclusd: read-only replica, send writes to the primary")
 
 // ErrJobEvicted reports that a job existed but was evicted after its TTL —
 // its result is gone from the job table, though the fitted model usually
@@ -131,6 +153,42 @@ var ErrOverloaded = errors.New("genclusd: overloaded, retry later")
 // answers a plain 404 — hold on to the model id, not the job id, across
 // restarts.
 var ErrJobEvicted = errors.New("genclusd: job evicted after TTL")
+
+// ErrUnavailable reports that an endpoint could not serve the request at
+// the transport or gateway level: the connection was refused, reset, or
+// dropped before an HTTP status arrived, or the response was a 502/503/504.
+// Test with errors.Is — the concrete error remains a *transportError
+// wrapping the net-level cause, or an *APIError for gateway statuses. It is
+// the signal MultiEndpoint failover keys off: an endpoint answering this
+// way is quarantined and traffic moves on, while typed application errors
+// (404, 409, 4xx) are returned as-is.
+var ErrUnavailable = errors.New("genclusd: endpoint unavailable")
+
+// transportError wraps a request that failed before any HTTP status
+// arrived, so errors.Is(err, ErrUnavailable) holds while the underlying
+// cause (including context cancellation) stays reachable via Unwrap.
+type transportError struct {
+	method, path string
+	err          error
+}
+
+// Error implements the error interface.
+func (e *transportError) Error() string {
+	return fmt.Sprintf("client: %s %s: %v", e.method, e.path, e.err)
+}
+
+// Unwrap exposes the net-level cause for errors.Is/As chains.
+func (e *transportError) Unwrap() error { return e.err }
+
+// Is marks every transport-level failure as ErrUnavailable — except
+// context cancellations, which are the caller's own doing, not the
+// endpoint's.
+func (e *transportError) Is(target error) bool {
+	if target != ErrUnavailable {
+		return false
+	}
+	return !errors.Is(e.err, context.Canceled) && !errors.Is(e.err, context.DeadlineExceeded)
+}
 
 // IsNotFound reports whether err is an APIError with status 404 — an
 // unknown (or TTL-evicted) network, job, or model.
@@ -296,6 +354,9 @@ type Health struct {
 	// Mutation surfaces the server's streaming-mutation counters: mutation
 	// volume, delta-log depth, live supervisors, and auto-refit totals.
 	Mutation MutationStats `json:"mutation"`
+	// Replication surfaces replica-mode sync state (zero, with Active
+	// false, on a primary).
+	Replication ReplicationStats `json:"replication"`
 }
 
 // ModelInfo is one registry entry of the /v1/models API: identity and
@@ -599,12 +660,15 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, con
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+		return nil, &transportError{method: method, path: path, err: err}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("client: read %s %s response: %w", method, path, err)
+		// A connection severed mid-body (a crashed or restarted server) is
+		// as much a transport failure as a refused dial; keep it typed so
+		// retry and endpoint failover recognize it.
+		return nil, &transportError{method: method, path: path, err: err}
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		msg, code := errorMessage(data)
@@ -630,19 +694,13 @@ func errorMessage(body []byte) (msg, code string) {
 	return strings.TrimSpace(string(body)), ""
 }
 
-// transient reports whether an error is worth retrying: network-level
-// failures and gateway-ish statuses.
+// transient reports whether an error is worth retrying: anything
+// ErrUnavailable covers (network-level failures and gateway-ish statuses,
+// but never a context cancellation) plus 429s shed by admission control.
 func transient(err error) bool {
-	var ae *APIError
-	if errors.As(err, &ae) {
-		switch ae.StatusCode {
-		case http.StatusTooManyRequests, // shed by admission control: back off and retry
-			http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
-			return true
-		}
-		return false
+	if errors.Is(err, ErrUnavailable) {
+		return true
 	}
-	// Anything that never produced an HTTP status (dial failure, reset,
-	// dropped connection) — but not a context cancellation.
-	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests
 }

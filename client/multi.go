@@ -1,0 +1,288 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"genclus"
+)
+
+// MultiEndpoint fronts a genclusd replica tier: writes (network uploads,
+// job submissions, imports, deletes) go to the primary, while AssignObjects
+// spreads across the replicas round-robin with health-aware failover. An
+// endpoint that answers at the transport level or with a 5xx is quarantined
+// under exponential backoff and its traffic redistributes; typed
+// application errors (404, 409, other 4xx) are returned to the caller
+// immediately — failover must not paper over a replica that simply has not
+// synced a model yet, that is the caller's consistency decision.
+//
+//	me := client.NewMultiEndpoint("http://primary:8080",
+//		[]string{"http://replica1:8080", "http://replica2:8080"})
+//	net, _ := me.UploadNetwork(ctx, nw)               // primary
+//	res, _ := me.AssignObjects(ctx, modelID, req)     // replicas, failover
+//
+// When every replica is quarantined or failing, assigns fall back to the
+// primary, and past that to the least-recently-quarantined replicas —
+// MultiEndpoint returns an error only once every endpoint refused the
+// request. MultiEndpoint is safe for concurrent use.
+type MultiEndpoint struct {
+	primary  *Client
+	replicas []*endpoint
+
+	quarantineBase time.Duration
+	quarantineMax  time.Duration
+	now            func() time.Time
+
+	mu   sync.Mutex
+	next int // round-robin cursor over replicas
+}
+
+// endpoint is one replica plus its quarantine state.
+type endpoint struct {
+	url string
+	c   *Client
+
+	mu       sync.Mutex
+	failures int       // consecutive failures
+	until    time.Time // quarantined until (zero = healthy)
+}
+
+// EndpointStatus reports one replica's health for observability.
+type EndpointStatus struct {
+	URL                 string    // replica base URL
+	ConsecutiveFailures int       // current failure streak
+	Quarantined         bool      // currently held out of rotation
+	QuarantinedUntil    time.Time // when it re-enters rotation (zero if healthy)
+}
+
+// MultiOption customizes a MultiEndpoint.
+type MultiOption func(*MultiEndpoint, *multiConfig)
+
+// multiConfig carries construction-time knobs that are not fields.
+type multiConfig struct {
+	clientOpts []Option
+}
+
+// WithEndpointOptions applies Client options to every underlying endpoint
+// client (primary and replicas) — e.g. WithHTTPClient for a shared
+// transport. Per-call retries on replicas stay disabled regardless:
+// MultiEndpoint's failover IS the retry.
+func WithEndpointOptions(opts ...Option) MultiOption {
+	return func(_ *MultiEndpoint, cfg *multiConfig) { cfg.clientOpts = append(cfg.clientOpts, opts...) }
+}
+
+// WithQuarantine sets the failover backoff window: a replica's first
+// failure holds it out of rotation for base, doubling per consecutive
+// failure up to max (defaults 1s and 30s).
+func WithQuarantine(base, max time.Duration) MultiOption {
+	return func(m *MultiEndpoint, _ *multiConfig) {
+		if base > 0 {
+			m.quarantineBase = base
+		}
+		if max > 0 {
+			m.quarantineMax = max
+		}
+	}
+}
+
+// NewMultiEndpoint builds a MultiEndpoint over one primary and any number
+// of replicas. With no replicas every request — including assigns — goes
+// to the primary, so a caller can deploy the tier before scaling it.
+func NewMultiEndpoint(primaryURL string, replicaURLs []string, opts ...MultiOption) *MultiEndpoint {
+	m := &MultiEndpoint{
+		quarantineBase: time.Second,
+		quarantineMax:  30 * time.Second,
+		now:            time.Now,
+	}
+	cfg := &multiConfig{}
+	for _, o := range opts {
+		o(m, cfg)
+	}
+	m.primary = New(primaryURL, cfg.clientOpts...)
+	for _, u := range replicaURLs {
+		// Replica clients never retry in place: a failed attempt should
+		// move to the next endpoint immediately, not burn its backoff
+		// budget against a dead listener.
+		ropts := append(append([]Option{}, cfg.clientOpts...), WithRetries(0, 0))
+		m.replicas = append(m.replicas, &endpoint{url: u, c: New(u, ropts...)})
+	}
+	return m
+}
+
+// Primary returns the primary's client, for the endpoints MultiEndpoint
+// does not delegate explicitly (mutations, model admin, event streams).
+func (m *MultiEndpoint) Primary() *Client { return m.primary }
+
+// Endpoints reports every replica's current health state.
+func (m *MultiEndpoint) Endpoints() []EndpointStatus {
+	now := m.now()
+	out := make([]EndpointStatus, 0, len(m.replicas))
+	for _, ep := range m.replicas {
+		ep.mu.Lock()
+		st := EndpointStatus{
+			URL:                 ep.url,
+			ConsecutiveFailures: ep.failures,
+		}
+		if ep.until.After(now) {
+			st.Quarantined = true
+			st.QuarantinedUntil = ep.until
+		}
+		ep.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
+}
+
+// ---- primary-routed delegations ----
+
+// UploadNetwork uploads a network to the primary.
+func (m *MultiEndpoint) UploadNetwork(ctx context.Context, net *genclus.Network) (*NetworkInfo, error) {
+	return m.primary.UploadNetwork(ctx, net)
+}
+
+// SubmitJob submits a fit to the primary.
+func (m *MultiEndpoint) SubmitJob(ctx context.Context, spec JobSpec) (*Job, error) {
+	return m.primary.SubmitJob(ctx, spec)
+}
+
+// WaitForResult waits on the primary for a job to finish.
+func (m *MultiEndpoint) WaitForResult(ctx context.Context, jobID string) (*Result, error) {
+	return m.primary.WaitForResult(ctx, jobID)
+}
+
+// DeleteModel deletes a model on the primary; replicas drop it on their
+// next sync pass.
+func (m *MultiEndpoint) DeleteModel(ctx context.Context, modelID string) error {
+	return m.primary.DeleteModel(ctx, modelID)
+}
+
+// ListModels lists the primary's registry — the authoritative model set
+// replicas converge toward.
+func (m *MultiEndpoint) ListModels(ctx context.Context) ([]ModelInfo, error) {
+	return m.primary.ListModels(ctx)
+}
+
+// ---- replica-routed assign with failover ----
+
+// AssignObjects folds new objects into a registered model, spreading
+// requests across healthy replicas round-robin. On a transport error or
+// 5xx the failing replica is quarantined with exponential backoff and the
+// request retries on the next endpoint (assigns are idempotent); if every
+// replica is down it falls back to the primary, then — as a last resort —
+// to quarantined replicas, oldest quarantine first. Typed application
+// errors (404 for a model the replica has not synced yet, 4xx validation
+// failures) return immediately without failover.
+func (m *MultiEndpoint) AssignObjects(ctx context.Context, modelID string, req AssignRequest) (*AssignResponse, error) {
+	healthy, quarantined := m.pickOrder()
+	var lastErr error
+	for _, ep := range healthy {
+		out, err := ep.c.AssignObjects(ctx, modelID, req)
+		if err == nil {
+			ep.recordSuccess()
+			return out, nil
+		}
+		if ctx.Err() != nil || !endpointUnavailable(err) {
+			return nil, err
+		}
+		ep.recordFailure(m.quarantineBase, m.quarantineMax, m.now())
+		lastErr = err
+	}
+	out, err := m.primary.AssignObjects(ctx, modelID, req)
+	if err == nil {
+		return out, nil
+	}
+	if ctx.Err() != nil || !endpointUnavailable(err) {
+		return nil, err
+	}
+	lastErr = err
+	// Last resort: a fully-quarantined tier with a dead primary still gets
+	// one desperation round — a replica that failed seconds ago may be back.
+	for _, ep := range quarantined {
+		out, err := ep.c.AssignObjects(ctx, modelID, req)
+		if err == nil {
+			ep.recordSuccess()
+			return out, nil
+		}
+		if ctx.Err() != nil || !endpointUnavailable(err) {
+			return nil, err
+		}
+		ep.recordFailure(m.quarantineBase, m.quarantineMax, m.now())
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// pickOrder snapshots the replicas as (healthy in round-robin order,
+// quarantined oldest-expiry first) and advances the rotation cursor.
+func (m *MultiEndpoint) pickOrder() (healthy, quarantined []*endpoint) {
+	if len(m.replicas) == 0 {
+		return nil, nil
+	}
+	now := m.now()
+	m.mu.Lock()
+	start := m.next
+	m.next = (m.next + 1) % len(m.replicas)
+	m.mu.Unlock()
+	for i := 0; i < len(m.replicas); i++ {
+		ep := m.replicas[(start+i)%len(m.replicas)]
+		ep.mu.Lock()
+		held := ep.until.After(now)
+		ep.mu.Unlock()
+		if held {
+			quarantined = append(quarantined, ep)
+		} else {
+			healthy = append(healthy, ep)
+		}
+	}
+	// Oldest quarantine expiry first: the endpoint closest to re-entering
+	// rotation is the likeliest to have recovered.
+	for i := 1; i < len(quarantined); i++ {
+		for j := i; j > 0; j-- {
+			a, b := quarantined[j-1], quarantined[j]
+			a.mu.Lock()
+			ua := a.until
+			a.mu.Unlock()
+			b.mu.Lock()
+			ub := b.until
+			b.mu.Unlock()
+			if !ub.Before(ua) {
+				break
+			}
+			quarantined[j-1], quarantined[j] = b, a
+		}
+	}
+	return healthy, quarantined
+}
+
+// endpointUnavailable reports an error that indicts the endpoint rather
+// than the request: a transport-level failure or any 5xx.
+func endpointUnavailable(err error) bool {
+	if errors.Is(err, ErrUnavailable) {
+		return true
+	}
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode >= 500
+}
+
+func (ep *endpoint) recordSuccess() {
+	ep.mu.Lock()
+	ep.failures = 0
+	ep.until = time.Time{}
+	ep.mu.Unlock()
+}
+
+func (ep *endpoint) recordFailure(base, max time.Duration, now time.Time) {
+	ep.mu.Lock()
+	ep.failures++
+	hold := base
+	for i := 1; i < ep.failures && hold < max; i++ {
+		hold *= 2
+	}
+	if hold > max {
+		hold = max
+	}
+	ep.until = now.Add(hold)
+	ep.mu.Unlock()
+}

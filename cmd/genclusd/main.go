@@ -16,6 +16,7 @@
 //	         [-supervisor-drift 0.25] [-supervisor-interval 5s]
 //	         [-read-timeout 2m] [-write-timeout 1m]
 //	         [-idle-timeout 2m] [-log-format text|json] [-log-level info]
+//	         [-replica-of URL] [-sync-interval 2s]
 //
 // With -data-dir, fitted state is durable: every finished fit's model
 // snapshot and job record are written crash-safely under DIR before the job
@@ -44,6 +45,16 @@
 // query objects queued behind a busy model, -assign-max-inflight caps
 // concurrent assign requests globally, and -assign-rps adds an optional
 // token-bucket rate limit.
+//
+// With -replica-of URL the daemon runs as a read-only replica of another
+// genclusd: a sync loop mirrors the primary's /v1/models registry by
+// snapshot digest (pulling only changed models over /v1/models/{id}/export,
+// verified against the advertised SHA-256 before install), /assign and
+// every read endpoint serve from the synced registry, and mutating routes
+// answer a typed 403 {"code":"read_only_replica"}. -sync-interval sets the
+// pull cadence; GET /v1/replication, /healthz and /metrics expose sync lag
+// and counters. Combine with -data-dir so a restarted replica resumes from
+// its persisted registry instead of re-downloading everything.
 //
 // GET /metrics serves the full operational instrument inventory in the
 // Prometheus text format (see docs/ARCHITECTURE.md, "Operations"), and
@@ -89,6 +100,8 @@ func main() {
 		supPending     = flag.Int("supervisor-max-pending", 0, "mutations a network may accumulate before the supervisor auto-refits it (default 32, -1 disables the pending trigger)")
 		supDrift       = flag.Float64("supervisor-drift", 0, "fold-in drift score in [0,1] beyond which the supervisor auto-refits a mutated network (default 0.25, -1 disables the drift trigger)")
 		supInterval    = flag.Duration("supervisor-interval", 0, "how often the supervisor re-evaluates drift and pending depth on mutated networks (default 5s)")
+		replicaOf      = flag.String("replica-of", "", "run as a read-only replica of the given primary base URL (e.g. http://primary:8080): sync its model registry, serve /assign, refuse writes with 403")
+		syncInterval   = flag.Duration("sync-interval", 0, "pause between successful replica sync passes (default 2s; only with -replica-of)")
 		readTimeout    = flag.Duration("read-timeout", 2*time.Minute, "http.Server ReadTimeout: full-request read budget (0 disables)")
 		writeTimeout   = flag.Duration("write-timeout", time.Minute, "per-request write deadline on non-streaming routes; SSE event streams are exempt (0 disables)")
 		idleTimeout    = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections (0 disables)")
@@ -129,6 +142,8 @@ func main() {
 		SupervisorMaxPending:     *supPending,
 		SupervisorDriftThreshold: *supDrift,
 		SupervisorInterval:       *supInterval,
+		ReplicaOf:                *replicaOf,
+		SyncInterval:             *syncInterval,
 		WriteTimeout:             wt,
 		Logger:                   logger,
 	})

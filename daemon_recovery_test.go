@@ -5,17 +5,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"net"
-	"os"
-	"os/exec"
 	"path/filepath"
 	"sync/atomic"
-	"syscall"
 	"testing"
 	"time"
 
 	"genclus"
 	"genclus/client"
+	"genclus/internal/testutil"
 )
 
 // recoveryNetwork builds a small two-topic network through the public API.
@@ -46,38 +43,6 @@ func recoveryNetwork(t *testing.T, perTopic int) *genclus.Network {
 	return nw
 }
 
-// startDaemon launches a genclusd binary and waits for /healthz.
-func startDaemon(t *testing.T, bin, addr, dataDir string) *exec.Cmd {
-	t.Helper()
-	cmd := exec.Command(bin, "-addr", addr, "-workers", "1", "-data-dir", dataDir)
-	var logs bytes.Buffer
-	cmd.Stdout = &logs
-	cmd.Stderr = &logs
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() {
-		if cmd.Process != nil {
-			_ = cmd.Process.Kill()
-			_, _ = cmd.Process.Wait()
-		}
-	})
-	c := client.New("http://" + addr)
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
-		_, err := c.Health(ctx)
-		cancel()
-		if err == nil {
-			return cmd
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("daemon on %s never became healthy; logs:\n%s", addr, logs.String())
-		}
-		time.Sleep(25 * time.Millisecond)
-	}
-}
-
 // TestDaemonKillRecover is the acceptance test for crash-safe persistence:
 // a real genclusd process fits a network with -data-dir, is killed with
 // SIGKILL (no shutdown path runs), and a fresh process on the same data dir
@@ -89,29 +54,12 @@ func TestDaemonKillRecover(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	dir := t.TempDir()
-	bin := filepath.Join(dir, "genclusd")
-	build := exec.Command("go", "build", "-o", bin, "./cmd/genclusd")
-	build.Dir = "."
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("build genclusd: %v\n%s", err, out)
-	}
-
-	// Reserve a port, then free it for the daemon. The unlikely race of
-	// something else grabbing it in between fails loudly in startDaemon.
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr := ln.Addr().String()
-	ln.Close()
-
-	dataDir := filepath.Join(dir, "data")
+	dataDir := filepath.Join(t.TempDir(), "data")
 	ctx := context.Background()
-	c := client.New("http://" + addr)
 
 	// Phase 1: fit, then SIGKILL.
-	proc := startDaemon(t, bin, addr, dataDir)
+	d := testutil.StartDaemon(t, testutil.Options{Name: "recovery", DataDir: dataDir})
+	c := client.New(d.URL())
 	nw := recoveryNetwork(t, 20)
 	info, err := c.UploadNetwork(ctx, nw)
 	if err != nil {
@@ -141,19 +89,10 @@ func TestDaemonKillRecover(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := proc.Process.Signal(syscall.SIGKILL); err != nil {
-		t.Fatal(err)
-	}
-	state, err := proc.Process.Wait()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if state.Success() {
-		t.Fatal("SIGKILLed daemon exited cleanly?")
-	}
+	d.Kill()
 
 	// Phase 2: restart on the same data dir; the fit must still be there.
-	proc2 := startDaemon(t, bin, addr, dataDir)
+	d.Restart()
 
 	recovered, err := c.JobStatus(ctx, job.ID)
 	if err != nil {
@@ -240,17 +179,12 @@ func TestDaemonKillRecover(t *testing.T) {
 	for acked.Load() < 3 {
 		time.Sleep(time.Millisecond)
 	}
-	if err := proc2.Process.Signal(syscall.SIGKILL); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := proc2.Process.Wait(); err != nil {
-		t.Fatal(err)
-	}
+	d.Kill()
 	<-burstDone
 
 	// Phase 4: restart again; the delta log replays on top of the network
 	// base and the view comes back at the exact durable generation.
-	startDaemon(t, bin, addr, dataDir)
+	d.Restart()
 	st, err := c.SupervisorStatus(ctx, info2.ID)
 	if err != nil {
 		t.Fatalf("supervisor status after mutation recovery: %v", err)
@@ -309,10 +243,6 @@ func TestDaemonKillRecover(t *testing.T) {
 		t.Fatalf("refit after crash recovery diverges from uninterrupted refit: %d vs %d bytes",
 			len(recoveredFit), len(uninterruptedFit))
 	}
-
-	// Double-check nothing about recovery left the binary's stderr dirty
-	// enough to hide a panic (the daemon logs recovery stats on startup).
-	_ = os.Remove(bin)
 }
 
 // mutationBurst returns a deterministic mutation sequence against netID,

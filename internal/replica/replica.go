@@ -1,0 +1,413 @@
+// Package replica implements the pull-by-digest model sync loop behind
+// genclusd's -replica-of mode: a Syncer periodically lists a primary's
+// /v1/models registry, downloads every model whose snapshot digest the
+// local registry does not already hold via /v1/models/{id}/export, verifies
+// the bytes hash to the digest the primary advertised (the snapshot codec's
+// CRC check runs again at install time), and removes local models the
+// primary dropped.
+//
+// The protocol is deliberately dumb: the registry listing is the entire
+// source of truth, every pass reconciles the full id → digest map, and a
+// missed pass costs nothing but lag. Digests make the sync idempotent and
+// cheap — an unchanged model is never re-downloaded, and a replica
+// restarted on its data dir resumes from whatever it had persisted.
+//
+// The Syncer owns no models itself; it drives a Registry implementation
+// (the server's model registry, or a fake in tests). Failures back off
+// exponentially and are surfaced via Status for /healthz, /metrics and
+// GET /v1/replication.
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"genclus/internal/snapshot"
+)
+
+// Registry is the local model store a Syncer reconciles against the
+// primary's listing. Implementations must be safe for concurrent use with
+// whatever else reads them (the Syncer calls from its own goroutine).
+type Registry interface {
+	// LocalModels returns the current id → snapshot-digest map.
+	LocalModels() map[string]string
+	// Install registers verified snapshot bytes under the given id,
+	// replacing any previous snapshot held under that id.
+	Install(id string, data []byte) error
+	// Remove deletes the model under id; removing an absent id is a no-op.
+	Remove(id string) error
+}
+
+// Config configures a Syncer. Primary and Registry are required; zero
+// fields take the documented defaults.
+type Config struct {
+	// Primary is the primary's base URL (e.g. "http://primary:8080").
+	Primary string
+	// Registry is the local model registry to reconcile.
+	Registry Registry
+	// Interval is the pause between successful sync passes (default 2s).
+	Interval time.Duration
+	// MaxBackoff caps the exponential backoff between failed passes
+	// (default 30s, never below Interval).
+	MaxBackoff time.Duration
+	// Timeout bounds one whole sync pass — listing plus every export it
+	// decides to pull (default 1m).
+	Timeout time.Duration
+	// MaxSnapshotBytes caps a single export download (default 32 MiB, the
+	// daemon's default request-body bound); a primary advertising a bigger
+	// snapshot fails the pass rather than ballooning replica memory.
+	MaxSnapshotBytes int64
+	// HTTPClient overrides the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// Logger receives sync progress and failure lines (default
+	// slog.Default()).
+	Logger *slog.Logger
+	// Now is the test clock hook (default time.Now).
+	Now func() time.Time
+}
+
+// Status is a point-in-time snapshot of the sync loop's state.
+type Status struct {
+	Primary string // primary base URL
+	// Syncs counts completed passes; SyncErrors counts failed ones. A pass
+	// fails on any listing/transport/backpressure error and on any
+	// per-model verification or install failure within it.
+	Syncs      uint64
+	SyncErrors uint64
+	// ModelsSynced and ModelsDeleted count models installed and removed
+	// across all passes (not registry sizes).
+	ModelsSynced  uint64
+	ModelsDeleted uint64
+	// ConsecutiveFailures is the current failure streak driving backoff
+	// (0 after a successful pass).
+	ConsecutiveFailures int
+	LastAttempt         time.Time // when the last pass started
+	LastSync            time.Time // when the last successful pass finished
+	LastError           string    // message of the last failed pass ("" after success)
+	// LagSeconds is the staleness bound: time since the last successful
+	// pass (or since the Syncer was created, before the first one).
+	LagSeconds float64
+}
+
+// Syncer runs the replication loop. Create with New, then Start; Stop
+// cancels any in-flight pass and waits for the loop goroutine to exit.
+type Syncer struct {
+	cfg    Config
+	hc     *http.Client
+	log    *slog.Logger
+	now    func() time.Time
+	cancel context.CancelFunc // aborts in-flight requests on Stop
+	ctx    context.Context
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopped   chan struct{}
+
+	mu       sync.Mutex
+	created  time.Time
+	syncs    uint64
+	errs     uint64
+	synced   uint64
+	deleted  uint64
+	failures int
+	attempt  time.Time
+	success  time.Time
+	lastErr  string
+}
+
+// New validates the config and builds a stopped Syncer.
+func New(cfg Config) (*Syncer, error) {
+	if cfg.Primary == "" {
+		return nil, errors.New("replica: primary URL required")
+	}
+	if cfg.Registry == nil {
+		return nil, errors.New("replica: registry required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 30 * time.Second
+	}
+	if cfg.MaxBackoff < cfg.Interval {
+		cfg.MaxBackoff = cfg.Interval
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = time.Minute
+	}
+	if cfg.MaxSnapshotBytes <= 0 {
+		cfg.MaxSnapshotBytes = 32 << 20
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Syncer{
+		cfg:     cfg,
+		hc:      hc,
+		log:     log,
+		now:     now,
+		ctx:     ctx,
+		cancel:  cancel,
+		stopped: make(chan struct{}),
+		created: now(),
+	}, nil
+}
+
+// Start launches the sync loop: an immediate first pass, then one per
+// Interval, stretching into exponential backoff while passes fail.
+// Idempotent.
+func (s *Syncer) Start() {
+	s.startOnce.Do(func() { go s.run() })
+}
+
+// Stop aborts any in-flight pass and waits for the loop to exit. A Syncer
+// that was never started stops immediately. Idempotent.
+func (s *Syncer) Stop() {
+	s.stopOnce.Do(func() {
+		s.cancel()
+		s.startOnce.Do(func() { close(s.stopped) }) // never started: nothing to wait for
+	})
+	<-s.stopped
+}
+
+func (s *Syncer) run() {
+	defer close(s.stopped)
+	for {
+		ctx, cancel := context.WithTimeout(s.ctx, s.cfg.Timeout)
+		_ = s.SyncOnce(ctx)
+		cancel()
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-time.After(s.nextDelay()):
+		}
+	}
+}
+
+// nextDelay returns the pause before the next pass: Interval after
+// success, exponential backoff while failing.
+func (s *Syncer) nextDelay() time.Duration {
+	s.mu.Lock()
+	failures := s.failures
+	s.mu.Unlock()
+	return backoff(s.cfg.Interval, failures, s.cfg.MaxBackoff)
+}
+
+// backoff is the delay schedule: base after success (failures == 0), then
+// base·2^failures capped at max.
+func backoff(base time.Duration, failures int, max time.Duration) time.Duration {
+	d := base
+	for i := 0; i < failures && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// SyncOnce runs one reconciliation pass and records its outcome in Status.
+// The loop calls it on its own cadence; tests (and operators embedding the
+// Syncer) may call it directly.
+func (s *Syncer) SyncOnce(ctx context.Context) error {
+	s.mu.Lock()
+	s.attempt = s.now()
+	s.mu.Unlock()
+
+	installed, removed, err := s.pass(ctx)
+
+	s.mu.Lock()
+	s.synced += uint64(installed)
+	s.deleted += uint64(removed)
+	if err != nil {
+		s.errs++
+		s.failures++
+		s.lastErr = err.Error()
+	} else {
+		s.syncs++
+		s.failures = 0
+		s.lastErr = ""
+		s.success = s.now()
+	}
+	failures := s.failures
+	s.mu.Unlock()
+
+	if err != nil {
+		s.log.LogAttrs(ctx, slog.LevelWarn, "replica sync failed",
+			slog.String("primary", s.cfg.Primary),
+			slog.Int("consecutive_failures", failures),
+			slog.String("error", err.Error()),
+		)
+	} else if installed > 0 || removed > 0 {
+		s.log.LogAttrs(ctx, slog.LevelInfo, "replica sync applied",
+			slog.String("primary", s.cfg.Primary),
+			slog.Int("models_synced", installed),
+			slog.Int("models_deleted", removed),
+		)
+	}
+	return err
+}
+
+// pass is one reconciliation: list, pull what differs, delete what the
+// primary dropped. A listing or transport/backpressure failure aborts the
+// pass before any install (no partial state from a sick primary, and no
+// hammering one that answered 429/503); a per-model digest mismatch or
+// install failure skips that model but lets the rest of the pass proceed.
+// Deletes run only off a successfully-fetched listing, so an unreachable
+// primary can never mass-delete a replica's registry.
+func (s *Syncer) pass(ctx context.Context) (installed, removed int, err error) {
+	listed, err := s.listPrimary(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	local := s.cfg.Registry.LocalModels()
+	var modelErrs []error
+	for _, m := range listed {
+		if local[m.ID] == m.Digest {
+			continue
+		}
+		data, err := s.export(ctx, m.ID)
+		if err != nil {
+			var he *httpError
+			if errors.As(err, &he) && he.status == http.StatusNotFound {
+				continue // deleted between listing and export; next pass reconciles
+			}
+			return installed, 0, err
+		}
+		if got := snapshot.DataDigest(data); got != m.Digest {
+			modelErrs = append(modelErrs, fmt.Errorf("model %s: export digest %s does not match listed %s", m.ID, got, m.Digest))
+			continue
+		}
+		if err := s.cfg.Registry.Install(m.ID, data); err != nil {
+			modelErrs = append(modelErrs, fmt.Errorf("install model %s: %w", m.ID, err))
+			continue
+		}
+		installed++
+	}
+	keep := make(map[string]bool, len(listed))
+	for _, m := range listed {
+		keep[m.ID] = true
+	}
+	for id := range local {
+		if keep[id] {
+			continue
+		}
+		if err := s.cfg.Registry.Remove(id); err != nil {
+			modelErrs = append(modelErrs, fmt.Errorf("remove model %s: %w", id, err))
+			continue
+		}
+		removed++
+	}
+	return installed, removed, errors.Join(modelErrs...)
+}
+
+// listedModel is the slice of the primary's /v1/models row the sync needs.
+type listedModel struct {
+	ID     string `json:"id"`
+	Digest string `json:"digest"`
+}
+
+// httpError is a non-2xx primary response, kept typed so the pass can tell
+// "model vanished" (404) from backpressure and faults.
+type httpError struct {
+	op     string
+	status int
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("replica: %s: primary answered %d", e.op, e.status)
+}
+
+// listPrimary fetches the primary's model registry listing.
+func (s *Syncer) listPrimary(ctx context.Context) ([]listedModel, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.cfg.Primary+"/v1/models", nil)
+	if err != nil {
+		return nil, fmt.Errorf("replica: build list request: %w", err)
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("replica: list models: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, &httpError{op: "list models", status: resp.StatusCode}
+	}
+	var out struct {
+		Models []listedModel `json:"models"`
+	}
+	// The listing is rows of metadata; even a maxed-out registry is far
+	// below the snapshot cap.
+	if err := json.NewDecoder(io.LimitReader(resp.Body, s.cfg.MaxSnapshotBytes)).Decode(&out); err != nil {
+		return nil, fmt.Errorf("replica: decode model listing: %w", err)
+	}
+	return out.Models, nil
+}
+
+// export downloads one model's snapshot bytes, capped at MaxSnapshotBytes.
+func (s *Syncer) export(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.cfg.Primary+"/v1/models/"+id+"/export", nil)
+	if err != nil {
+		return nil, fmt.Errorf("replica: build export request: %w", err)
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("replica: export model %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, &httpError{op: "export model " + id, status: resp.StatusCode}
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxSnapshotBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("replica: read export of model %s: %w", id, err)
+	}
+	if int64(len(data)) > s.cfg.MaxSnapshotBytes {
+		return nil, fmt.Errorf("replica: export of model %s exceeds %d bytes", id, s.cfg.MaxSnapshotBytes)
+	}
+	return data, nil
+}
+
+// Status returns the loop's current counters and staleness.
+func (s *Syncer) Status() Status {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		Primary:             s.cfg.Primary,
+		Syncs:               s.syncs,
+		SyncErrors:          s.errs,
+		ModelsSynced:        s.synced,
+		ModelsDeleted:       s.deleted,
+		ConsecutiveFailures: s.failures,
+		LastAttempt:         s.attempt,
+		LastSync:            s.success,
+		LastError:           s.lastErr,
+	}
+	since := s.created
+	if !s.success.IsZero() {
+		since = s.success
+	}
+	if lag := now.Sub(since).Seconds(); lag > 0 {
+		st.LagSeconds = lag
+	}
+	return st
+}

@@ -145,6 +145,24 @@ func (s *Server) newServerMetrics() *serverMetrics {
 			func() float64 { return float64(s.store.jobCounts()[st]) },
 			"state", string(st))
 	}
+	// Replica-mode sync state, computed at scrape time from the syncer's
+	// own counters (all zero on a primary) so /healthz and /metrics can
+	// never disagree.
+	reg.GaugeFunc("genclus_replica_lag_seconds",
+		"Seconds since the replica last completed a sync pass against its primary (0 on a primary).",
+		func() float64 { return s.replicationStats().LagSeconds })
+	reg.GaugeFunc("genclus_replica_syncs_total",
+		"Completed replica sync passes.",
+		func() float64 { return float64(s.replicationStats().Syncs) })
+	reg.GaugeFunc("genclus_replica_sync_errors_total",
+		"Failed replica sync passes (listing, transport, verification, or install).",
+		func() float64 { return float64(s.replicationStats().SyncErrors) })
+	reg.GaugeFunc("genclus_replica_models_synced_total",
+		"Models the replica sync loop installed from its primary.",
+		func() float64 { return float64(s.replicationStats().ModelsSynced) })
+	reg.GaugeFunc("genclus_replica_models_deleted_total",
+		"Local models the replica sync loop removed because the primary dropped them.",
+		func() float64 { return float64(s.replicationStats().ModelsDeleted) })
 	return m
 }
 
@@ -235,7 +253,14 @@ func (s *Server) instrument(rt Route) http.HandlerFunc {
 		if _, ok := w.(http.Flusher); ok {
 			ww = flushWriter{sw}
 		}
-		rt.handler(ww, r.WithContext(ctx))
+		if rt.mutating && s.cfg.ReplicaOf != "" {
+			// Read-only replica: refuse writes inside the envelope so the
+			// 403 still lands in metrics and the request log.
+			writeErrorCode(ww, http.StatusForbidden, codeReadOnlyReplica,
+				"this node is a read-only replica of %s; send writes to the primary", s.cfg.ReplicaOf)
+		} else {
+			rt.handler(ww, r.WithContext(ctx))
+		}
 		code := sw.code
 		if code == 0 {
 			code = http.StatusOK

@@ -121,6 +121,12 @@ var healthzMetricNames = map[string]string{
 	"mutation.refits_triggered": "genclus_supervisor_refits_triggered_total",
 	"mutation.refits_succeeded": "genclus_supervisor_refits_succeeded_total",
 	"mutation.refits_failed":    "genclus_supervisor_refits_failed_total",
+
+	"replication.lag_seconds":    "genclus_replica_lag_seconds",
+	"replication.syncs":          "genclus_replica_syncs_total",
+	"replication.sync_errors":    "genclus_replica_sync_errors_total",
+	"replication.models_synced":  "genclus_replica_models_synced_total",
+	"replication.models_deleted": "genclus_replica_models_deleted_total",
 }
 
 // healthzNonCounters are healthz fields that are liveness/config metadata,
@@ -129,6 +135,14 @@ var healthzNonCounters = map[string]bool{
 	"status":         true,
 	"uptime_seconds": true,
 	"workers":        true,
+
+	// Replication identity/diagnostic fields: role metadata and the last
+	// error message, not counters.
+	"replication.active":               true,
+	"replication.primary":              true,
+	"replication.consecutive_failures": true,
+	"replication.last_sync":            true,
+	"replication.last_error":           true,
 }
 
 // TestHealthzMetricsParity is the parity lint: every counter surfaced on
@@ -150,12 +164,16 @@ func TestHealthzMetricsParity(t *testing.T) {
 			if f.Type == reflect.TypeOf(mutationStatsResponse{}) {
 				continue // flattened below under "mutation."
 			}
+			if f.Type == reflect.TypeOf(replicationStatsResponse{}) {
+				continue // flattened below under "replication."
+			}
 			fields = append(fields, prefix+tag)
 		}
 	}
 	collect("", reflect.TypeOf(healthResponse{}))
 	collect("assign.", reflect.TypeOf(assignStatsResponse{}))
 	collect("mutation.", reflect.TypeOf(mutationStatsResponse{}))
+	collect("replication.", reflect.TypeOf(replicationStatsResponse{}))
 
 	for _, f := range fields {
 		if healthzNonCounters[f] {

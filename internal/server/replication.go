@@ -1,0 +1,180 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"genclus/internal/replica"
+	"genclus/internal/snapshot"
+	diskstore "genclus/internal/store"
+)
+
+// Replica mode: with Config.ReplicaOf set, this server is a read-only
+// follower of another genclusd. A replica.Syncer reconciles the local model
+// registry against the primary's /v1/models listing (pull-by-digest over
+// /v1/models/{id}/export, bytes verified against the advertised SHA-256
+// and decoded behind the same trust-boundary limits an import faces),
+// mutating routes answer a typed 403 {"code":"read_only_replica"}, and
+// /assign serves from the synced registry — a fleet of replicas scales
+// fold-in inference horizontally while fits stay on the primary. Sync
+// state is surfaced on /healthz, /metrics and GET /v1/replication; with a
+// data dir the synced models persist, so a restarted replica resumes from
+// its local registry and re-downloads nothing whose digest still matches.
+
+// codeReadOnlyReplica is the error code on 403s from mutating routes in
+// replica mode.
+const codeReadOnlyReplica = "read_only_replica"
+
+// replicaRegistry adapts the server's model registry to replica.Registry.
+// Installs run the full import trust boundary (snapshot.Decode checks CRC,
+// bounds and canonical form) and the usual registration path, so a synced
+// model persists, admits through MaxModels eviction, and refreshes the
+// assign-engine cache exactly like an imported one.
+type replicaRegistry struct{ s *Server }
+
+func (r replicaRegistry) LocalModels() map[string]string {
+	return r.s.store.modelDigests()
+}
+
+func (r replicaRegistry) Install(id string, data []byte) error {
+	s := r.s
+	snap, err := snapshot.Decode(data, s.snapshotLimits())
+	if err != nil {
+		return err
+	}
+	old, _ := s.store.model(id)
+	e := &modelEntry{
+		id:      id,
+		model:   snap.Model,
+		meta:    snap.Meta,
+		created: s.cfg.now(),
+		digest:  snapshot.DataDigest(data),
+		size:    int64(len(data)),
+		// The meta's job/network ids are the PRIMARY's provenance; the
+		// registry row carries them so listings mirror the primary's.
+		jobID:     snap.Meta[metaJobID],
+		networkID: snap.Meta[metaNetworkID],
+	}
+	if s.blobs != nil {
+		// Same degraded-durability contract as registerModel: a failed disk
+		// write keeps the model serveable in memory (counted and logged);
+		// the next restart simply re-pulls it.
+		if err := s.blobs.Put(bucketModels, id, data); err != nil {
+			s.persistFailure("persist synced model "+id, err)
+		}
+	}
+	s.admitModel(e)
+	if old != nil && old.digest != e.digest {
+		// The id moved to new bytes; release the stale engine unless another
+		// entry still serves the old digest.
+		s.dropEngine(old.digest)
+	}
+	return nil
+}
+
+func (r replicaRegistry) Remove(id string) error {
+	s := r.s
+	e, ok := s.store.model(id)
+	if !ok || !s.store.deleteModel(id) {
+		return nil
+	}
+	s.dropEngine(e.digest)
+	if s.blobs != nil {
+		if err := s.blobs.Delete(bucketModels, id); err != nil && !errors.Is(err, diskstore.ErrNotFound) {
+			return err
+		}
+	}
+	return nil
+}
+
+// startReplication builds and starts the sync loop (New calls it last, so
+// the registry adapter sees a fully-wired server).
+func (s *Server) startReplication() error {
+	sy, err := replica.New(replica.Config{
+		Primary:  s.cfg.ReplicaOf,
+		Registry: replicaRegistry{s},
+		Interval: s.cfg.SyncInterval,
+		// A replica refuses exports beyond what the primary could have
+		// accepted as an upload.
+		MaxSnapshotBytes: s.cfg.MaxBodyBytes,
+		Logger:           s.log,
+		Now:              s.cfg.now,
+	})
+	if err != nil {
+		return err
+	}
+	s.syncer = sy
+	sy.Start()
+	return nil
+}
+
+// replicationStatsResponse is the sync-state block served on /healthz (and
+// inside GET /v1/replication). On a primary every field is zero and Active
+// is false.
+type replicationStatsResponse struct {
+	// Active reports replica mode; Primary is the followed base URL.
+	Active  bool   `json:"active"`
+	Primary string `json:"primary,omitempty"`
+	// LagSeconds is the staleness bound: seconds since the last successful
+	// sync pass (since startup before the first one).
+	LagSeconds float64 `json:"lag_seconds"`
+	// Syncs/SyncErrors count completed and failed passes; ModelsSynced and
+	// ModelsDeleted count models installed and removed by the sync loop.
+	Syncs         uint64 `json:"syncs"`
+	SyncErrors    uint64 `json:"sync_errors"`
+	ModelsSynced  uint64 `json:"models_synced"`
+	ModelsDeleted uint64 `json:"models_deleted"`
+	// ConsecutiveFailures is the current failure streak driving backoff.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// LastSync is the RFC 3339 time of the last successful pass; LastError
+	// the message of the last failed one ("" after a success).
+	LastSync  string `json:"last_sync,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// replicationStats snapshots the syncer state (zero block on a primary).
+func (s *Server) replicationStats() replicationStatsResponse {
+	if s.syncer == nil {
+		return replicationStatsResponse{}
+	}
+	st := s.syncer.Status()
+	out := replicationStatsResponse{
+		Active:              true,
+		Primary:             st.Primary,
+		LagSeconds:          st.LagSeconds,
+		Syncs:               st.Syncs,
+		SyncErrors:          st.SyncErrors,
+		ModelsSynced:        st.ModelsSynced,
+		ModelsDeleted:       st.ModelsDeleted,
+		ConsecutiveFailures: st.ConsecutiveFailures,
+		LastError:           st.LastError,
+	}
+	if !st.LastSync.IsZero() {
+		out.LastSync = st.LastSync.UTC().Format(time.RFC3339Nano)
+	}
+	return out
+}
+
+// replicationResponse is the GET /v1/replication body: the node's role,
+// its registry size, and (replicas only) the live sync state.
+type replicationResponse struct {
+	// Mode is "primary" or "replica".
+	Mode string `json:"mode"`
+	// Models is the local registry size — on a converged replica it equals
+	// the primary's.
+	Models int                      `json:"models"`
+	Sync   replicationStatsResponse `json:"sync"`
+}
+
+func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request) {
+	mode := "primary"
+	if s.cfg.ReplicaOf != "" {
+		mode = "replica"
+	}
+	writeJSON(w, http.StatusOK, replicationResponse{
+		Mode:   mode,
+		Models: s.store.numModels(),
+		Sync:   s.replicationStats(),
+	})
+}

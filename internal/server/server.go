@@ -22,6 +22,7 @@
 //	GET    /v1/models/{id}/export download the binary model snapshot
 //	POST   /v1/models/{id}/assign fold new objects into a model (online inference)
 //	POST   /v1/models/import      register an uploaded snapshot → metadata
+//	GET    /v1/replication        node role and replica sync state
 //	GET    /healthz               liveness plus queue statistics
 //	GET    /metrics               Prometheus text-format metrics
 //
@@ -50,6 +51,12 @@
 // they (and finished jobs) survive restarts and SIGKILL (see
 // docs/ARCHITECTURE.md, "Persistence").
 //
+// With Config.ReplicaOf set the server runs as a read-only replica of
+// another genclusd: a background loop mirrors the primary's model registry
+// by snapshot digest, mutating routes answer a typed 403
+// {"code":"read_only_replica"}, and /assign serves from the synced
+// registry — see replication.go and docs/ARCHITECTURE.md, "Replication".
+//
 // The /v1 surface is additive-only: fields and endpoints may be added, but
 // existing request fields, response fields, and status codes keep their
 // meaning until a /v2 (see README, "API compatibility").
@@ -73,6 +80,7 @@ import (
 
 	"genclus/internal/core"
 	"genclus/internal/hin"
+	"genclus/internal/replica"
 	diskstore "genclus/internal/store"
 )
 
@@ -176,6 +184,15 @@ type Config struct {
 	// SupervisorDisabled turns continuous clustering off entirely: no
 	// supervisor goroutines start, mutations still apply and log.
 	SupervisorDisabled bool
+
+	// ReplicaOf, when set to a primary's base URL, runs this server as a
+	// read-only replica: a sync loop mirrors the primary's model registry
+	// by digest (see replication.go), mutating routes answer a typed 403
+	// "read_only_replica", and /assign serves from the synced registry.
+	ReplicaOf string
+	// SyncInterval is the pause between successful replica sync passes
+	// (default 2s; only meaningful with ReplicaOf).
+	SyncInterval time.Duration
 
 	// now is the test clock hook; nil means time.Now.
 	now func() time.Time
@@ -286,6 +303,14 @@ func (c Config) withDefaults() Config {
 	if c.SupervisorInterval <= 0 {
 		c.SupervisorInterval = 5 * time.Second
 	}
+	if c.ReplicaOf != "" {
+		// A replica never fits or mutates, so continuous clustering has
+		// nothing to supervise.
+		c.SupervisorDisabled = true
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 2 * time.Second
+	}
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = time.Minute
 	}
@@ -336,6 +361,9 @@ type Server struct {
 	// /metrics instrument registry (see metrics.go).
 	log     *slog.Logger
 	metrics *serverMetrics
+	// syncer is the replica-mode sync loop mirroring Config.ReplicaOf's
+	// model registry; nil on a primary (see replication.go).
+	syncer  *replica.Syncer
 	sweeper chan struct{} // closed by Close to stop the janitor
 	// draining closes when event streams must end (DrainStreams/Close).
 	// Without it, a live SSE connection would hold http.Server.Shutdown
@@ -391,6 +419,11 @@ func New(cfg Config) (*Server, error) {
 	for id, e := range st.mutatedNetworks() {
 		s.ensureSupervisor(id, e)
 	}
+	if cfg.ReplicaOf != "" {
+		if err := s.startReplication(); err != nil {
+			return nil, fmt.Errorf("server: replica sync: %w", err)
+		}
+	}
 	go s.janitor()
 	return s, nil
 }
@@ -407,27 +440,32 @@ type Route struct {
 	// sse marks long-lived streaming routes, which the instrument
 	// middleware exempts from the per-request write deadline.
 	sse bool
+	// mutating marks routes that change server state; in replica mode
+	// (Config.ReplicaOf) the instrument middleware answers them with a
+	// typed 403 "read_only_replica" instead of dispatching the handler.
+	mutating bool
 }
 
 // routes is the single route table both the mux and Routes are built from.
 func (s *Server) routes() []Route {
 	return []Route{
-		{Method: "POST", Path: "/v1/networks", handler: s.handleUploadNetwork},
-		{Method: "POST", Path: "/v1/networks/{id}/edges", handler: s.handleMutateEdges},
-		{Method: "POST", Path: "/v1/networks/{id}/objects", handler: s.handleMutateObjects},
-		{Method: "PATCH", Path: "/v1/networks/{id}/attributes", handler: s.handleMutateAttributes},
+		{Method: "POST", Path: "/v1/networks", handler: s.handleUploadNetwork, mutating: true},
+		{Method: "POST", Path: "/v1/networks/{id}/edges", handler: s.handleMutateEdges, mutating: true},
+		{Method: "POST", Path: "/v1/networks/{id}/objects", handler: s.handleMutateObjects, mutating: true},
+		{Method: "PATCH", Path: "/v1/networks/{id}/attributes", handler: s.handleMutateAttributes, mutating: true},
 		{Method: "GET", Path: "/v1/networks/{id}/supervisor", handler: s.handleSupervisorStatus},
-		{Method: "POST", Path: "/v1/jobs", handler: s.handleSubmitJob},
+		{Method: "POST", Path: "/v1/jobs", handler: s.handleSubmitJob, mutating: true},
 		{Method: "GET", Path: "/v1/jobs/{id}", handler: s.handleJobStatus},
 		{Method: "GET", Path: "/v1/jobs/{id}/result", handler: s.handleJobResult},
 		{Method: "GET", Path: "/v1/jobs/{id}/events", handler: s.handleJobEvents, sse: true},
-		{Method: "DELETE", Path: "/v1/jobs/{id}", handler: s.handleCancelJob},
+		{Method: "DELETE", Path: "/v1/jobs/{id}", handler: s.handleCancelJob, mutating: true},
 		{Method: "GET", Path: "/v1/models", handler: s.handleListModels},
-		{Method: "POST", Path: "/v1/models/import", handler: s.handleImportModel},
+		{Method: "POST", Path: "/v1/models/import", handler: s.handleImportModel, mutating: true},
 		{Method: "GET", Path: "/v1/models/{id}", handler: s.handleGetModel},
-		{Method: "DELETE", Path: "/v1/models/{id}", handler: s.handleDeleteModel},
+		{Method: "DELETE", Path: "/v1/models/{id}", handler: s.handleDeleteModel, mutating: true},
 		{Method: "GET", Path: "/v1/models/{id}/export", handler: s.handleExportModel},
 		{Method: "POST", Path: "/v1/models/{id}/assign", handler: s.handleAssign},
+		{Method: "GET", Path: "/v1/replication", handler: s.handleReplication},
 		{Method: "GET", Path: "/healthz", handler: s.handleHealthz},
 		{Method: "GET", Path: "/metrics", handler: s.handleMetrics},
 	}
@@ -459,6 +497,11 @@ func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.DrainStreams()
 		close(s.sweeper)
+		// The replica syncer stops before the registry's consumers so no
+		// install can race a closing engine cache.
+		if s.syncer != nil {
+			s.syncer.Stop()
+		}
 		// Supervisors drain before the manager so none can schedule a
 		// refit into a closing queue (a job close would cancel anyway —
 		// this just keeps shutdown quiet and deterministic).
@@ -653,6 +696,10 @@ type healthResponse struct {
 	// counters: mutation volume, delta-log depth, live supervisors, the
 	// latest drift score, and supervisor refit outcomes.
 	Mutation mutationStatsResponse `json:"mutation"`
+	// Replication surfaces replica-mode sync state: lag, pass/error
+	// counters, and models synced/deleted. Zero (active=false) on a
+	// primary.
+	Replication replicationStatsResponse `json:"replication"`
 }
 
 // ---- handlers ----
@@ -971,5 +1018,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		PersistFailures: s.persistFailures.Load(),
 		Assign:          s.assignStats.snapshot(),
 		Mutation:        s.mutationStats.snapshot(s.store),
+		Replication:     s.replicationStats(),
 	})
 }

@@ -394,6 +394,18 @@ func (st *store) listModels() []*modelEntry {
 	return out
 }
 
+// modelDigests snapshots the id → snapshot-digest map — the replica sync
+// loop's view of the local registry.
+func (st *store) modelDigests() map[string]string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string]string, len(st.models))
+	for id, e := range st.models {
+		out[id] = e.digest
+	}
+	return out
+}
+
 // numModels counts registered models for /healthz.
 func (st *store) numModels() int {
 	st.mu.Lock()

@@ -1,0 +1,263 @@
+// Package testutil is the subprocess harness behind the daemon-level
+// integration suites (daemon_recovery_test.go, replication_multinode_test.go):
+// it builds the real genclusd binary once per test process, starts daemons on
+// scoped ports and data dirs, and gives tests the fault-injection verbs the
+// suites are built from — SIGKILL, restart on the same state, wait-healthy.
+//
+// Daemon logs are captured per process; set GENCLUSD_TEST_LOG_DIR to also
+// tee each daemon's output to <dir>/<name>.log (CI uploads these as
+// artifacts when a run fails).
+package testutil
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+)
+
+// BuildDaemon compiles cmd/genclusd once per test process and returns the
+// binary path. Every caller shares the same build, so a multi-node suite
+// pays the compile exactly once.
+func BuildDaemon(tb testing.TB) string {
+	tb.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "genclusd-test-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		bin := filepath.Join(dir, "genclusd")
+		// The package path (not a file path) keeps the build working from
+		// any test package's working directory within the module.
+		cmd := exec.Command("go", "build", "-o", bin, "genclus/cmd/genclusd")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("build genclusd: %w\n%s", err, out)
+			return
+		}
+		buildBin = bin
+	})
+	if buildErr != nil {
+		tb.Fatal(buildErr)
+	}
+	return buildBin
+}
+
+// FreePort reserves a 127.0.0.1 port and frees it for a daemon to bind.
+// The unlikely race of something else grabbing it in between fails loudly
+// in StartDaemon's health wait.
+func FreePort(tb testing.TB) string {
+	tb.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// Options configures a daemon under test. Zero values get scoped defaults.
+type Options struct {
+	// Name labels the daemon in failure output and log artifacts
+	// (default "genclusd").
+	Name string
+	// Addr is the listen address (default: a fresh FreePort).
+	Addr string
+	// DataDir is the persistence root passed as -data-dir; empty runs the
+	// daemon memory-only.
+	DataDir string
+	// Args are extra genclusd flags appended after -addr/-data-dir
+	// (e.g. "-replica-of", primaryURL).
+	Args []string
+}
+
+// Daemon is one live genclusd subprocess. Kill/Restart/WaitHealthy are the
+// fault-injection verbs; the zero of everything else is managed by
+// StartDaemon.
+type Daemon struct {
+	tb   testing.TB
+	bin  string
+	opts Options
+	logs *teeBuffer
+
+	mu  sync.Mutex
+	cmd *exec.Cmd
+}
+
+// StartDaemon builds genclusd (cached), launches it with the given options,
+// waits for /healthz, and registers a kill on test cleanup. The daemon's
+// address and data dir stay fixed across Restart, which is what makes
+// crash-recovery suites possible.
+func StartDaemon(tb testing.TB, opts Options) *Daemon {
+	tb.Helper()
+	if opts.Name == "" {
+		opts.Name = "genclusd"
+	}
+	if opts.Addr == "" {
+		opts.Addr = FreePort(tb)
+	}
+	d := &Daemon{
+		tb:   tb,
+		bin:  BuildDaemon(tb),
+		opts: opts,
+		logs: newTeeBuffer(tb, opts.Name),
+	}
+	tb.Cleanup(func() { d.stop() })
+	d.start()
+	d.WaitHealthy(30 * time.Second)
+	return d
+}
+
+// URL is the daemon's base URL for clients.
+func (d *Daemon) URL() string { return "http://" + d.opts.Addr }
+
+// Addr is the daemon's listen address.
+func (d *Daemon) Addr() string { return d.opts.Addr }
+
+// Logs returns everything the current and previous incarnations of the
+// daemon wrote to stdout/stderr.
+func (d *Daemon) Logs() string { return d.logs.String() }
+
+func (d *Daemon) start() {
+	d.tb.Helper()
+	args := []string{"-addr", d.opts.Addr, "-workers", "1"}
+	if d.opts.DataDir != "" {
+		args = append(args, "-data-dir", d.opts.DataDir)
+	}
+	args = append(args, d.opts.Args...)
+	cmd := exec.Command(d.bin, args...)
+	cmd.Stdout = d.logs
+	cmd.Stderr = d.logs
+	if err := cmd.Start(); err != nil {
+		d.tb.Fatalf("start %s: %v", d.opts.Name, err)
+	}
+	d.mu.Lock()
+	d.cmd = cmd
+	d.mu.Unlock()
+}
+
+func (d *Daemon) stop() {
+	d.mu.Lock()
+	cmd := d.cmd
+	d.cmd = nil
+	d.mu.Unlock()
+	if cmd != nil && cmd.Process != nil {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}
+}
+
+// Kill SIGKILLs the daemon — no shutdown path runs — and reaps it. It
+// fails the test if the process somehow exited cleanly.
+func (d *Daemon) Kill() {
+	d.tb.Helper()
+	d.mu.Lock()
+	cmd := d.cmd
+	d.cmd = nil
+	d.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		d.tb.Fatalf("%s: Kill on a daemon that is not running", d.opts.Name)
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		d.tb.Fatal(err)
+	}
+	state, err := cmd.Process.Wait()
+	if err != nil {
+		d.tb.Fatal(err)
+	}
+	if state.Success() {
+		d.tb.Fatalf("%s: SIGKILLed daemon exited cleanly?", d.opts.Name)
+	}
+}
+
+// Restart launches a fresh process on the same address, data dir, and args,
+// and waits for it to become healthy. Call after Kill to drive a
+// crash-recovery cycle.
+func (d *Daemon) Restart() {
+	d.tb.Helper()
+	d.start()
+	d.WaitHealthy(30 * time.Second)
+}
+
+// WaitHealthy polls GET /healthz until it answers 200 or the timeout
+// expires (failing the test with the daemon's logs).
+func (d *Daemon) WaitHealthy(timeout time.Duration) {
+	d.tb.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.URL()+"/healthz", nil)
+		if err != nil {
+			cancel()
+			d.tb.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		cancel()
+		if err == nil && resp.StatusCode == http.StatusOK {
+			return
+		}
+		if time.Now().After(deadline) {
+			d.tb.Fatalf("%s on %s never became healthy; logs:\n%s", d.opts.Name, d.opts.Addr, d.Logs())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// teeBuffer collects a daemon's output, optionally teeing it to
+// $GENCLUSD_TEST_LOG_DIR/<name>.log for CI artifact upload. Safe for the
+// concurrent writes of a process being restarted while the old one drains.
+type teeBuffer struct {
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	file *os.File
+}
+
+func newTeeBuffer(tb testing.TB, name string) *teeBuffer {
+	t := &teeBuffer{}
+	if dir := os.Getenv("GENCLUSD_TEST_LOG_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			// O_APPEND so a name reused across tests keeps every run's logs.
+			f, err := os.OpenFile(filepath.Join(dir, name+".log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err == nil {
+				t.file = f
+				tb.Cleanup(func() { f.Close() })
+			}
+		}
+	}
+	return t
+}
+
+func (t *teeBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.file != nil {
+		t.file.Write(p)
+	}
+	return t.buf.Write(p)
+}
+
+func (t *teeBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.buf.String()
+}

@@ -1,0 +1,321 @@
+package genclus_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"genclus/client"
+	"genclus/internal/testutil"
+)
+
+// replicaArgs are the flags that make a daemon follow the given primary
+// with a test-fast sync cadence.
+func replicaArgs(primaryURL string) []string {
+	return []string{"-replica-of", primaryURL, "-sync-interval", "100ms"}
+}
+
+// waitConverged polls a node's registry until its id → digest map equals
+// want exactly.
+func waitConverged(t *testing.T, c *client.Client, name string, want map[string]string) {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		models, err := c.ListModels(ctx)
+		if err == nil && len(models) == len(want) {
+			match := true
+			for _, m := range models {
+				if want[m.ID] != m.Digest {
+					match = false
+					break
+				}
+			}
+			if match {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never converged to %v (last: %v, err %v)", name, want, models, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// fitModel fits the standard two-topic network on the primary and returns
+// the model's id and digest.
+func fitModel(t *testing.T, c *client.Client, seed int64) (id, digest string) {
+	t.Helper()
+	ctx := context.Background()
+	info, err := c.UploadNetwork(ctx, recoveryNetwork(t, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, em, seeds := 3, 5, 2
+	job, err := c.SubmitJob(ctx, client.JobSpec{NetworkID: info.ID, K: 2, Options: &client.JobOptions{
+		OuterIters: &outer, EMIters: &em, InitSeeds: &seeds, Seed: &seed,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitForResult(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+	status, err := c.JobStatus(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := c.ListModels(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range models {
+		if m.ID == status.ModelID {
+			return m.ID, m.Digest
+		}
+	}
+	t.Fatalf("fitted model %s missing from listing", status.ModelID)
+	return "", ""
+}
+
+// assignBody is a fixed fold-in request against the recoveryNetwork
+// vocabulary, used for the bitwise cross-node comparison.
+func assignBody(t *testing.T) []byte {
+	t.Helper()
+	req := client.AssignRequest{
+		TopK: 2,
+		Objects: []client.AssignObject{
+			{
+				ID:    "q-linked",
+				Links: []client.AssignLink{{Relation: "cites", To: "doc0_000", Weight: 1}},
+				Terms: map[string][]client.AssignTermCount{"text": {{Term: 2, Count: 3}, {Term: 5, Count: 1}}},
+			},
+			{
+				ID:    "q-texty",
+				Terms: map[string][]client.AssignTermCount{"text": {{Term: 12, Count: 4}}},
+			},
+		},
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+// rawAssign posts an assign body over plain HTTP so responses can be
+// compared byte for byte across nodes.
+func rawAssign(t *testing.T, baseURL, modelID string, payload []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/v1/models/"+modelID+"/assign", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("assign on %s: %v", baseURL, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestReplicaTierMultiNode is the acceptance suite for the replica tier:
+// one primary and two replicas (one durable, one memory-only) as real
+// genclusd subprocesses. It drives convergence, role reporting, the
+// read-only fence, bitwise-identical assigns across all three nodes,
+// primary SIGKILL + recovery, delete propagation, and a sustained
+// MultiEndpoint assign load that must see zero failed requests while one
+// replica is killed and restarted under it.
+func TestReplicaTierMultiNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ctx := context.Background()
+	baseline := runtime.NumGoroutine()
+
+	primary := testutil.StartDaemon(t, testutil.Options{
+		Name:    "primary",
+		DataDir: filepath.Join(t.TempDir(), "primary"),
+	})
+	rep1 := testutil.StartDaemon(t, testutil.Options{
+		Name:    "replica1",
+		DataDir: filepath.Join(t.TempDir(), "replica1"),
+		Args:    replicaArgs(primary.URL()),
+	})
+	rep2 := testutil.StartDaemon(t, testutil.Options{
+		Name: "replica2", // memory-only: resyncs from scratch after restart
+		Args: replicaArgs(primary.URL()),
+	})
+	pc := client.New(primary.URL())
+	rc1 := client.New(rep1.URL())
+	rc2 := client.New(rep2.URL())
+
+	// Roles are visible on GET /v1/replication.
+	for _, tc := range []struct {
+		c    *client.Client
+		mode string
+	}{{pc, "primary"}, {rc1, "replica"}, {rc2, "replica"}} {
+		rs, err := tc.c.Replication(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Mode != tc.mode {
+			t.Fatalf("mode %q, want %q", rs.Mode, tc.mode)
+		}
+		if (rs.Sync.Active) != (tc.mode == "replica") {
+			t.Fatalf("%s node reports sync.active=%v", tc.mode, rs.Sync.Active)
+		}
+	}
+
+	// A model fitted on the primary converges onto both replicas.
+	modelA, digestA := fitModel(t, pc, 11)
+	wantA := map[string]string{modelA: digestA}
+	waitConverged(t, rc1, "replica1", wantA)
+	waitConverged(t, rc2, "replica2", wantA)
+
+	// The write fence: fits and mutations on a replica answer the typed
+	// read-only error, and nothing changed its registry.
+	if _, err := rc1.UploadNetwork(ctx, recoveryNetwork(t, 4)); !errors.Is(err, client.ErrReadOnlyReplica) {
+		t.Fatalf("replica upload: %v, want ErrReadOnlyReplica", err)
+	}
+	if err := rc2.DeleteModel(ctx, modelA); !errors.Is(err, client.ErrReadOnlyReplica) {
+		t.Fatalf("replica delete: %v, want ErrReadOnlyReplica", err)
+	}
+	waitConverged(t, rc2, "replica2", wantA)
+
+	// The same assign request answers bitwise-identically on all three
+	// nodes — the replicas serve the primary's exact model bytes.
+	payload := assignBody(t)
+	codeP, bodyP := rawAssign(t, primary.URL(), modelA, payload)
+	if codeP != http.StatusOK {
+		t.Fatalf("primary assign: %d: %s", codeP, bodyP)
+	}
+	for name, url := range map[string]string{"replica1": rep1.URL(), "replica2": rep2.URL()} {
+		code, body := rawAssign(t, url, modelA, payload)
+		if code != http.StatusOK {
+			t.Fatalf("%s assign: %d: %s", name, code, body)
+		}
+		if !bytes.Equal(body, bodyP) {
+			t.Fatalf("%s assign response differs from primary:\n%s\nvs\n%s", name, body, bodyP)
+		}
+	}
+
+	// SIGKILL the primary: replicas keep serving assigns from their synced
+	// registries and report the outage in their sync state.
+	primary.Kill()
+	for name, url := range map[string]string{"replica1": rep1.URL(), "replica2": rep2.URL()} {
+		if code, body := rawAssign(t, url, modelA, payload); code != http.StatusOK {
+			t.Fatalf("%s assign during primary outage: %d: %s", name, code, body)
+		}
+	}
+	testutilWaitFor(t, 30*time.Second, "replica1 sync errors", func() bool {
+		rs, err := rc1.Replication(ctx)
+		return err == nil && rs.Sync.SyncErrors > 0 && rs.Sync.ConsecutiveFailures > 0
+	})
+
+	// The primary restarts on its data dir; a fresh fit converges onto the
+	// replicas alongside the recovered model.
+	primary.Restart()
+	modelB, digestB := fitModel(t, pc, 23)
+	wantAB := map[string]string{modelA: digestA, modelB: digestB}
+	waitConverged(t, rc1, "replica1", wantAB)
+	waitConverged(t, rc2, "replica2", wantAB)
+
+	// Delete propagation: dropping modelA on the primary drops it tier-wide.
+	if err := pc.DeleteModel(ctx, modelA); err != nil {
+		t.Fatal(err)
+	}
+	wantB := map[string]string{modelB: digestB}
+	waitConverged(t, rc1, "replica1", wantB)
+	waitConverged(t, rc2, "replica2", wantB)
+
+	// Sustained MultiEndpoint load with a replica killed and restarted
+	// under it: every request must succeed — failover and the primary
+	// fallback absorb the outage.
+	me := client.NewMultiEndpoint(primary.URL(), []string{rep1.URL(), rep2.URL()},
+		client.WithQuarantine(100*time.Millisecond, time.Second))
+	assignReq := client.AssignRequest{
+		TopK:    2,
+		Objects: []client.AssignObject{{ID: "q", Links: []client.AssignLink{{Relation: "cites", To: "doc0_000", Weight: 1}}}},
+	}
+	var (
+		wg       sync.WaitGroup
+		failed   atomic.Int64
+		requests atomic.Int64
+		firstErr atomic.Value
+		stop     = make(chan struct{})
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := me.AssignObjects(ctx, modelB, assignReq); err != nil {
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Sprintf("%v", err))
+				}
+				requests.Add(1)
+			}
+		}()
+	}
+	time.Sleep(300 * time.Millisecond) // load against the full tier
+	rep1.Kill()
+	time.Sleep(500 * time.Millisecond) // load with one replica down
+	rep1.Restart()
+	time.Sleep(300 * time.Millisecond) // load through recovery
+	close(stop)
+	wg.Wait()
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d of %d SDK requests failed during replica outage (first: %v)\nreplica1 logs:\n%s",
+			n, requests.Load(), firstErr.Load(), rep1.Logs())
+	}
+	if requests.Load() == 0 {
+		t.Fatal("load loop issued no requests")
+	}
+	// The restarted memoryless replica is irrelevant here, but the durable
+	// one must converge again after its crash.
+	waitConverged(t, rc1, "replica1 after restart", wantB)
+
+	// No goroutine leak from the SDK load loop or the harness.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after multi-node load: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// testutilWaitFor polls cond until it holds or the timeout fails the test.
+func testutilWaitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
