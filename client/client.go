@@ -241,6 +241,7 @@ type JobOptions struct {
 	InitialGamma         *float64 `json:"initial_gamma,omitempty"`         // uniform starting strength (0 means 1)
 	SymmetricPropagation *bool    `json:"symmetric_propagation,omitempty"` // propagate along in-links too (ablation)
 	Epsilon              *float64 `json:"epsilon,omitempty"`               // Θ floor, in (0, 1/K); also floors assign posteriors
+	Precision            *string  `json:"precision,omitempty"`             // model storage precision: "float64" (default) or "float32"
 }
 
 // JobSpec is a fit submission. K is required unless WarmStartFrom names a
@@ -373,6 +374,7 @@ type ModelInfo struct {
 	SizeBytes     int64  `json:"size_bytes"`               // snapshot length
 	OptionsDigest string `json:"options_digest,omitempty"` // digest of the fit's scalar hyperparameters
 	EMIterations  int    `json:"em_iterations"`            // EM work the source fit spent
+	Precision     string `json:"precision"`                // model storage precision ("float64" or "float32")
 }
 
 // modelList is the GET /v1/models wire wrapper.

@@ -75,6 +75,7 @@ func main() {
 		em         = flag.Int("em", 15, "EM iterations per outer step")
 		seed       = flag.Int64("seed", 1, "random seed")
 		parallel   = flag.Int("parallel", 1, "EM worker goroutines")
+		precision  = flag.String("precision", "", "model storage precision: float64 (default) or float32")
 		fixedGamma = flag.Bool("fixed-gamma", false, "freeze link-type strengths at 1 (ablation)")
 		history    = flag.Bool("history", false, "include per-iteration summaries in the output")
 		summary    = flag.Bool("summary", false, "print per-cluster summaries (sizes, top terms, component means) to stderr")
@@ -95,8 +96,9 @@ func main() {
 		// be written, or a -k the snapshot overrides).
 		fitOnly := map[string]bool{
 			"in": true, "k": true, "attrs": true, "outer": true, "em": true,
-			"seed": true, "parallel": true, "fixed-gamma": true,
-			"history": true, "summary": true, "save-model": true,
+			"seed": true, "parallel": true, "precision": true,
+			"fixed-gamma": true, "history": true, "summary": true,
+			"save-model": true,
 		}
 		var conflicts []string
 		flag.Visit(func(f *flag.Flag) {
@@ -128,6 +130,7 @@ func main() {
 	opts.Parallelism = *parallel
 	opts.LearnGamma = !*fixedGamma
 	opts.TrackHistory = *history
+	opts.Precision = genclus.Precision(*precision)
 	if *attrs != "" {
 		opts.Attributes = strings.Split(*attrs, ",")
 	}
@@ -255,6 +258,7 @@ func runAssign(modelPath, queriesPath, outPath string) {
 	eng, err := genclus.NewAssigner(model, genclus.AssignOptions{
 		TopK:      doc.TopK,
 		Epsilon:   snapshot.EpsilonFromMeta(snap.Meta, model.K),
+		Precision: snap.Precision,
 		Unbounded: true,
 	})
 	if err != nil {

@@ -129,6 +129,20 @@ func NetworkFromJSONLimited(data []byte, lim Limits) (*Network, error) {
 // paper-faithful defaults.
 type Options = core.Options
 
+// Precision selects the storage precision of a fit's learned parameters;
+// see Options.Precision.
+type Precision = core.Precision
+
+// Precision values accepted by Options.Precision and AssignOptions.Precision.
+const (
+	PrecisionFloat64 = core.PrecisionFloat64
+	PrecisionFloat32 = core.PrecisionFloat32
+)
+
+// ParsePrecision normalizes a precision name ("" and "float64" mean
+// PrecisionFloat64), returning a *core.PrecisionError for anything else.
+func ParsePrecision(s string) (Precision, error) { return core.ParsePrecision(s) }
+
 // Result is the fitted quantities of a model: soft memberships Θ, learned
 // link-type strengths γ, fitted attribute component models, iteration
 // counts, and (optionally) per-iteration snapshots.
@@ -176,10 +190,16 @@ func DefaultSnapshotLimits() SnapshotLimits { return snapshot.DefaultLimits() }
 // format — the portable form of fitted state: byte-identical for identical
 // models, self-checksummed, decodable by DecodeModel, importable into a
 // genclusd model registry (POST /v1/models/import or client.ImportModel),
-// and readable by the genclus CLI (-from-model). Result.History is not
+// and readable by the genclus CLI (-from-model). The wire layout follows
+// the model's fitted storage precision (Options.Precision): a float32 fit
+// encodes — and later decodes — as float32. Result.History is not
 // persisted.
 func EncodeModel(m *Model) ([]byte, error) {
-	return snapshot.Encode(&snapshot.Snapshot{Model: m})
+	snap := &snapshot.Snapshot{Model: m}
+	if m != nil && m.Result != nil {
+		snap.Precision = m.Precision
+	}
+	return snapshot.Encode(snap)
 }
 
 // DecodeModel parses a binary model snapshot (EncodeModel, a genclusd

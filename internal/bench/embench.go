@@ -70,6 +70,15 @@ type EMIterationBench struct {
 // so the first measured iteration is already in the zero-alloc steady
 // state.
 func NewEMIterationBench() (*EMIterationBench, error) {
+	return NewEMIterationBenchParallel(1)
+}
+
+// NewEMIterationBenchParallel is NewEMIterationBench with an explicit EM
+// worker count — the fixture behind the per-parallelism benchmark series
+// (em-iteration/midsize-p4, -p16). Parallelism changes only the wall clock,
+// never the results, so every variant runs the same arithmetic on the same
+// state; Close the bench to stop the worker pool.
+func NewEMIterationBenchParallel(parallelism int) (*EMIterationBench, error) {
 	net, err := EMBenchNetwork()
 	if err != nil {
 		return nil, err
@@ -77,6 +86,7 @@ func NewEMIterationBench() (*EMIterationBench, error) {
 	opts := core.DefaultOptions(4)
 	opts.Seed = 1
 	opts.InitSeeds = 1
+	opts.Parallelism = parallelism
 	h, err := core.NewEMHarness(net, opts)
 	if err != nil {
 		return nil, err
@@ -89,3 +99,6 @@ func NewEMIterationBench() (*EMIterationBench, error) {
 
 // RunIteration executes one steady-state E+M pass.
 func (eb *EMIterationBench) RunIteration() { eb.h.RunIteration() }
+
+// Close stops the harness's worker pool, if any.
+func (eb *EMIterationBench) Close() { eb.h.Close() }

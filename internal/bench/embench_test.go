@@ -21,3 +21,23 @@ func TestEMIterationSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state EM iteration allocates %v times per run, want 0", allocs)
 	}
 }
+
+// TestEMIterationParallelSteadyStateZeroAlloc extends the zero-allocation
+// contract to the pooled parallel path: the persistent workers, the
+// atomic-counter chunk dispatch and the padded accumulators mean a P=16
+// iteration must allocate exactly as much as a serial one — nothing.
+func TestEMIterationParallelSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation breaks exact allocation accounting")
+	}
+	for _, p := range []int{4, 16} {
+		eb, err := NewEMIterationBenchParallel(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if allocs := testing.AllocsPerRun(5, eb.RunIteration); allocs != 0 {
+			t.Errorf("steady-state EM iteration at P=%d allocates %v times per run, want 0", p, allocs)
+		}
+		eb.Close()
+	}
+}

@@ -300,8 +300,10 @@ func TestParallelMatchesSerialOneIteration(t *testing.T) {
 			}
 		}
 	}
-	sSerial.emIteration(cloneTheta(sSerial.theta))
-	sPar.emIteration(cloneTheta(sPar.theta))
+	sSerial.snapshotTheta()
+	sSerial.emIteration()
+	sPar.snapshotTheta()
+	sPar.emIteration()
 	for v := range sSerial.theta {
 		for k := range sSerial.theta[v] {
 			if math.Abs(sSerial.theta[v][k]-sPar.theta[v][k]) > 1e-12 {

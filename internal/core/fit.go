@@ -45,6 +45,11 @@ type Result struct {
 	// OuterIterations counts the outer alternations actually run (OuterTol
 	// may stop the fit before Options.OuterIters).
 	OuterIterations int
+	// Precision is the storage precision the parameters were fitted under
+	// (normalized — never empty on a fit result). Serializers read it so a
+	// float32 fit round-trips through a snapshot in the float32 wire
+	// layout without the caller re-stating the option.
+	Precision Precision
 }
 
 // Fit runs GenClus (Algorithm 1) on the network and returns the fitted
@@ -100,6 +105,10 @@ func FitContext(ctx context.Context, net *hin.Network, opts Options) (*Model, er
 		// Step 2: link-type strength learning (Newton on γ with Θ fixed).
 		if opts.LearnGamma {
 			g2 = s.learnStrengths()
+			// Commit γ at the configured storage precision (no-op under
+			// float64; the frozen-γ branch needs none — its vector was
+			// rounded at initialization and never moves).
+			s.roundGamma()
 		} else {
 			g2 = s.buildStrengthStats().pseudoLogLikelihood(s.gamma, opts.PriorSigma)
 		}
@@ -132,6 +141,9 @@ func FitContext(ctx context.Context, net *hin.Network, opts Options) (*Model, er
 		}
 	}
 
+	// Validate already vetted the precision; normalize "" to float64 so the
+	// result always states what it was fitted under.
+	prec, _ := ParsePrecision(string(opts.Precision))
 	res := &Result{
 		K:               opts.K,
 		Theta:           cloneTheta(s.theta),
@@ -143,6 +155,7 @@ func FitContext(ctx context.Context, net *hin.Network, opts Options) (*Model, er
 		History:         history,
 		EMIterations:    emTotal,
 		OuterIterations: outerRun,
+		Precision:       prec,
 	}
 	for r := 0; r < net.NumRelations(); r++ {
 		res.Gamma[net.RelationName(r)] = s.gamma[r]

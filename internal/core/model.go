@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"genclus/internal/hin"
 	"genclus/internal/stats"
@@ -69,6 +71,23 @@ type state struct {
 	thetaOld   [][]float64 // Θ_{t−1} snapshot buffer (snapshotTheta)
 	accums     []*emAccum  // one per reduction chunk (ensureEMScratch)
 
+	// Flat contiguous panels backing the theta/thetaOld row sets, kept in
+	// lockstep by snapshotTheta. The E-step link kernels index Θ_{t−1}
+	// through thetaOldF (one bounds-checked load per edge instead of a row
+	// header chase); the values are the same memory the rows alias, so the
+	// arithmetic is unchanged.
+	thetaF    []float64
+	thetaOldF []float64
+
+	// Parallel EM machinery (see em.go): an optional persistent worker pool,
+	// the atomic work counters the workers drain, the shared WaitGroup, and
+	// the precomputed entry-range segments of the parallel statistics merge.
+	pool      *emPool
+	emNext    atomic.Int64
+	mergeNext atomic.Int64
+	emWG      sync.WaitGroup
+	mergeSegs []mergeSeg
+
 	// Reusable strength-learning statistics (see strength.go).
 	strength      strengthStats
 	strengthReady bool
@@ -131,6 +150,12 @@ func newState(net *hin.Network, opts Options, seed int64, permuteGauss bool) *st
 	}
 	s.initTheta()
 	s.initAttrModels()
+	// Commit the initial state at the configured storage precision, so the
+	// first E-step already reads float32-representable parameters (no-ops
+	// under the float64 default).
+	s.roundTheta(0, net.NumObjects())
+	s.roundGamma()
+	s.roundAttrModels()
 	return s
 }
 
@@ -138,6 +163,7 @@ func (s *state) initTheta() {
 	n := s.net.NumObjects()
 	k := s.opts.K
 	backing := make([]float64, n*k)
+	s.thetaF = backing
 	s.theta = make([][]float64, n)
 	for v := 0; v < n; v++ {
 		row := backing[v*k : (v+1)*k]

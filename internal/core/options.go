@@ -81,6 +81,14 @@ type Options struct {
 	// Epsilon floors every Θ entry so log θ stays finite (DESIGN.md §4).
 	Epsilon float64
 
+	// Precision selects the storage precision of the learned parameters:
+	// PrecisionFloat64 (the default; the empty string means the same) or
+	// PrecisionFloat32, which rounds Θ/β/γ to float32 values at every point
+	// the fit commits them and halves snapshot Θ/β bytes. See the Precision
+	// type for the full contract. Validate rejects anything else with a
+	// typed *PrecisionError.
+	Precision Precision
+
 	// SmoothEta is the Laplace smoothing added to categorical β updates.
 	SmoothEta float64
 
@@ -201,6 +209,9 @@ func (o Options) Validate(net *hin.Network) error {
 	}
 	if !(o.Epsilon > 0) || o.Epsilon >= 1.0/float64(o.K) {
 		return fmt.Errorf("core: Epsilon = %v, want in (0, 1/K)", o.Epsilon)
+	}
+	if _, err := ParsePrecision(string(o.Precision)); err != nil {
+		return err
 	}
 	if o.SmoothEta < 0 {
 		return fmt.Errorf("core: SmoothEta = %v, want ≥ 0", o.SmoothEta)

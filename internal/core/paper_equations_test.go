@@ -63,7 +63,8 @@ func TestEq10ThetaUpdateByHand(t *testing.T) {
 	want0 := w0 / (w0 + w1)
 	want1 := w1 / (w0 + w1)
 
-	s.emIteration(cloneTheta(s.theta))
+	s.snapshotTheta()
+	s.emIteration()
 	if math.Abs(s.theta[x][0]-want0) > 1e-9 || math.Abs(s.theta[x][1]-want1) > 1e-9 {
 		t.Errorf("Eq.10 update: θ_x = (%v, %v), hand computation (%v, %v)",
 			s.theta[x][0], s.theta[x][1], want0, want1)

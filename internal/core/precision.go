@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"genclus/internal/hin"
+)
+
+// Precision selects the storage precision of a fit's learned parameters
+// (Θ, β, γ). It is an API surface, not an internal knob: the value travels
+// from Options through the snapshot format, the genclusd job spec, the
+// assign engine, the SDK and the CLI, and every layer validates it with
+// ParsePrecision.
+//
+// Arithmetic always runs in float64. Under PrecisionFloat32 every learned
+// parameter is rounded to the nearest float32 at each point the fit commits
+// it (Θ after each EM normalization, β/µ/σ² after each M-step, γ after each
+// strength-learning step and at initialization), so the stored model is
+// exactly representable in 32 bits: snapshots carry 4-byte floats losslessly
+// and halve Θ/β wire size, and the fit remains bitwise deterministic across
+// Parallelism with its own per-precision golden checksums. The accuracy
+// contract (NMI parity ≥ 0.99 against float64 on the synthetic suites) is
+// documented in docs/ARCHITECTURE.md, "Numerics".
+type Precision string
+
+// The supported precisions. The empty string is accepted everywhere and
+// means PrecisionFloat64 — existing callers and serialized options are
+// unaffected by the option's existence.
+const (
+	// PrecisionFloat64 is the default full-precision storage mode.
+	PrecisionFloat64 Precision = "float64"
+	// PrecisionFloat32 stores Θ/β/γ rounded to float32 values.
+	PrecisionFloat32 Precision = "float32"
+)
+
+// PrecisionError reports an unknown Options.Precision value. It is a typed
+// error so trust boundaries can distinguish a caller mistake (genclusd
+// answers 400) from internal failures.
+type PrecisionError struct {
+	// Value is the rejected precision string.
+	Value string
+}
+
+// Error implements the error interface.
+func (e *PrecisionError) Error() string {
+	return fmt.Sprintf("core: unknown precision %q (want %q or %q)", e.Value, PrecisionFloat64, PrecisionFloat32)
+}
+
+// ParsePrecision validates a precision string from any outer layer (job
+// spec, CLI flag, snapshot meta) and normalizes the empty string to
+// PrecisionFloat64. Unknown values return a *PrecisionError.
+func ParsePrecision(s string) (Precision, error) {
+	switch Precision(s) {
+	case "", PrecisionFloat64:
+		return PrecisionFloat64, nil
+	case PrecisionFloat32:
+		return PrecisionFloat32, nil
+	}
+	return "", &PrecisionError{Value: s}
+}
+
+// WithPrecision returns a copy of the options with Precision set — the
+// construction-helper form of the fit configuration (o stays unmodified, so
+// a shared base Options can fan out per-job variants).
+func (o Options) WithPrecision(p Precision) Options {
+	o.Precision = p
+	return o
+}
+
+// WithParallelism returns a copy of the options with Parallelism set; see
+// WithPrecision.
+func (o Options) WithParallelism(n int) Options {
+	o.Parallelism = n
+	return o
+}
+
+// f32 rounds x to the nearest float32 value, clamping overflow to
+// ±MaxFloat32 so a finite float64 parameter never becomes infinite by
+// changing storage precision (NaN passes through; the fit's validation
+// layers reject it elsewhere).
+func f32(x float64) float64 {
+	r := float64(float32(x))
+	if math.IsInf(r, 0) && !math.IsInf(x, 0) {
+		return math.Copysign(math.MaxFloat32, x)
+	}
+	return r
+}
+
+// f32Slice rounds every entry of xs in place.
+func f32Slice(xs []float64) {
+	for i, x := range xs {
+		xs[i] = f32(x)
+	}
+}
+
+// roundTheta applies the storage precision to every Θ row in the range
+// [lo, hi). Rounding is pointwise, so it is safe per chunk under the
+// parallel E-step and cannot depend on Parallelism.
+func (s *state) roundTheta(lo, hi int) {
+	if s.opts.Precision != PrecisionFloat32 {
+		return
+	}
+	for v := lo; v < hi; v++ {
+		f32Slice(s.theta[v])
+	}
+}
+
+// roundGamma applies the storage precision to the strength vector.
+func (s *state) roundGamma() {
+	if s.opts.Precision != PrecisionFloat32 {
+		return
+	}
+	f32Slice(s.gamma)
+}
+
+// roundAttrModels applies the storage precision to every attribute
+// component model (categorical β rows, Gaussian µ and σ²).
+func (s *state) roundAttrModels() {
+	if s.opts.Precision != PrecisionFloat32 {
+		return
+	}
+	for _, a := range s.attrs {
+		switch s.kind[a] {
+		case hin.Categorical:
+			for _, row := range s.cat[a].Beta {
+				f32Slice(row)
+			}
+		case hin.Numeric:
+			f32Slice(s.gauss[a].Mu)
+			f32Slice(s.gauss[a].Var)
+		}
+	}
+}

@@ -133,7 +133,9 @@ func normalizeRowInto(dst, nr []float64, eps float64) bool {
 	}
 	for i := range dst {
 		x := nr[i] / mass
-		if x < eps || math.IsNaN(x) {
+		// Single-comparison floor: !(x >= eps) is exactly (x < eps || NaN),
+		// folded into one branch the compiler can turn into a select.
+		if !(x >= eps) {
 			x = eps
 		}
 		dst[i] = x
@@ -164,6 +166,12 @@ type ScorerOptions struct {
 	// (the default) iterates until the row is bitwise stationary or MaxIters
 	// is exhausted — the setting the bitwise reproduction contract needs.
 	Tol float64
+	// Precision mirrors the fit's Options.Precision: under "float32" every
+	// normalized posterior row is rounded to float32-representable values
+	// exactly as the fit rounds Θ, which the bitwise reproduction contract
+	// requires against float32-fitted models. Empty or "float64" rounds
+	// nothing; unknown values are rejected.
+	Precision Precision
 }
 
 // defaults for ScorerOptions.
@@ -205,6 +213,7 @@ type Scorer struct {
 
 	maxIters int
 	tol      float64
+	f32      bool // round posterior rows to float32 storage (fit parity)
 
 	theta [][]float64 // model Θ rows, shared with the model (read-only)
 
@@ -274,12 +283,17 @@ func NewScorer(m *Model, opts ScorerOptions) (*Scorer, error) {
 	if opts.Tol < 0 || math.IsNaN(opts.Tol) {
 		return nil, fmt.Errorf("core: NewScorer: Tol = %v, want ≥ 0", opts.Tol)
 	}
+	prec, err := ParsePrecision(string(opts.Precision))
+	if err != nil {
+		return nil, fmt.Errorf("core: NewScorer: %w", err)
+	}
 	k := m.K
 	s := &Scorer{
 		k:        k,
 		eps:      opts.Epsilon,
 		maxIters: opts.MaxIters,
 		tol:      opts.Tol,
+		f32:      prec == PrecisionFloat32,
 		theta:    m.Theta,
 		relIndex: make(map[string]int, len(m.Gamma)),
 		objIndex: make(map[string]int, len(m.objectIDs)),
@@ -480,6 +494,9 @@ func (s *Scorer) Score(dst []float64) int {
 		if !normalizeRowInto(dst, s.linkVec, s.eps) {
 			copy(dst, s.prior)
 		}
+		if s.f32 {
+			f32Slice(dst)
+		}
 		return 1
 	}
 
@@ -505,6 +522,11 @@ func (s *Scorer) Score(dst []float64) int {
 		}
 		if !normalizeRowInto(s.cur, s.row, s.eps) {
 			copy(s.cur, s.prior)
+		}
+		if s.f32 {
+			// Same per-row commit the fit applies after its normalization
+			// pass, so fixed points land on float32-representable rows.
+			f32Slice(s.cur)
 		}
 		stationary := true
 		if s.tol > 0 {

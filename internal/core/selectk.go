@@ -7,6 +7,48 @@ import (
 	"genclus/internal/hin"
 )
 
+// DescWeightSorter ranks an index permutation by descending weight, ties
+// broken by ascending index — the one comparator behind every "best first"
+// ordering in the system (assign top-k cluster selection, cluster top-term
+// summaries, model-selection reporting). It implements sort.Interface over
+// caller-owned buffers: Idx is the permutation being ordered, Weight the
+// lookup it is ordered by. Reusing one value across sorts allocates
+// nothing, which is what the assign engine's steady-state zero-alloc
+// contract depends on.
+type DescWeightSorter struct {
+	Idx    []int
+	Weight []float64
+}
+
+// Reset initializes the permutation to the identity over weights and
+// attaches the weight lookup, reusing Idx's capacity when it suffices.
+func (s *DescWeightSorter) Reset(weights []float64) {
+	if cap(s.Idx) < len(weights) {
+		s.Idx = make([]int, len(weights))
+	}
+	s.Idx = s.Idx[:len(weights)]
+	for i := range s.Idx {
+		s.Idx[i] = i
+	}
+	s.Weight = weights
+}
+
+// Len implements sort.Interface.
+func (s *DescWeightSorter) Len() int { return len(s.Idx) }
+
+// Less implements sort.Interface: descending weight, ascending index on
+// ties.
+func (s *DescWeightSorter) Less(i, j int) bool {
+	wi, wj := s.Weight[s.Idx[i]], s.Weight[s.Idx[j]]
+	if wi != wj {
+		return wi > wj
+	}
+	return s.Idx[i] < s.Idx[j]
+}
+
+// Swap implements sort.Interface.
+func (s *DescWeightSorter) Swap(i, j int) { s.Idx[i], s.Idx[j] = s.Idx[j], s.Idx[i] }
+
 // KScore is the model-selection score of one candidate cluster count.
 type KScore struct {
 	K         int

@@ -53,26 +53,26 @@ func (r *Result) Summarize(net *hin.Network, topN int) ([]ClusterSummary, error)
 		out[lab].Size++
 		out[lab].ByType[net.TypeOf(v)]++
 	}
+	var rs DescWeightSorter
 	for _, am := range r.Attrs {
 		switch am.Kind {
 		case hin.Categorical:
 			for k := 0; k < r.K; k++ {
+				// Rank the component row with the shared descending-weight
+				// sorter (same ordering contract as assign's top-k).
 				row := am.Cat.Beta[k]
-				terms := make([]TermWeight, len(row))
-				for l, w := range row {
-					terms[l] = TermWeight{Term: l, Weight: w}
-				}
-				sort.Slice(terms, func(i, j int) bool {
-					if terms[i].Weight != terms[j].Weight {
-						return terms[i].Weight > terms[j].Weight
-					}
-					return terms[i].Term < terms[j].Term
-				})
+				rs.Reset(row)
+				sort.Sort(&rs)
 				n := topN
-				if n > len(terms) {
-					n = len(terms)
+				if n > len(row) {
+					n = len(row)
 				}
-				out[k].TopTerms[am.Name] = terms[:n]
+				terms := make([]TermWeight, n)
+				for i := range terms {
+					l := rs.Idx[i]
+					terms[i] = TermWeight{Term: l, Weight: row[l]}
+				}
+				out[k].TopTerms[am.Name] = terms
 			}
 		case hin.Numeric:
 			for k := 0; k < r.K; k++ {

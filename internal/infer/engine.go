@@ -30,45 +30,20 @@ type Engine struct {
 	thetaBuf []float64
 	topBuf   []ClusterProb
 
-	// sorter is the reusable top-k index sorter (selectTopK); its idx
-	// scratch is sized K once at construction.
-	sorter topKSorter
+	// sorter is the shared descending-weight index sorter (selectTopK
+	// reuses it across queries, so top-k selection allocates nothing in
+	// steady state); its idx scratch is sized K once at construction.
+	sorter core.DescWeightSorter
 }
-
-// topKSorter orders cluster indices by descending posterior, ties broken
-// by ascending cluster index. It exists as a named type so the sort can
-// reuse one K-sized index buffer across queries — selectTopK allocates
-// nothing in steady state, and a full O(K log K) sort keeps top-k
-// selection cheap even when the consumer wants all K entries (genclusd
-// builds its engines that way and trims per request).
-type topKSorter struct {
-	idx   []int
-	theta []float64
-}
-
-// Len implements sort.Interface.
-func (s *topKSorter) Len() int { return len(s.idx) }
-
-// Less implements sort.Interface: descending posterior, ascending index on
-// ties.
-func (s *topKSorter) Less(i, j int) bool {
-	ti, tj := s.theta[s.idx[i]], s.theta[s.idx[j]]
-	if ti != tj {
-		return ti > tj
-	}
-	return s.idx[i] < s.idx[j]
-}
-
-// Swap implements sort.Interface.
-func (s *topKSorter) Swap(i, j int) { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
 
 // NewEngine validates the model's fitted state and builds the assignment
 // engine.
 func NewEngine(m *core.Model, opts Options) (*Engine, error) {
 	sc, err := core.NewScorer(m, core.ScorerOptions{
-		Epsilon:  opts.Epsilon,
-		MaxIters: opts.MaxFoldInIters,
-		Tol:      opts.Tol,
+		Epsilon:   opts.Epsilon,
+		MaxIters:  opts.MaxFoldInIters,
+		Tol:       opts.Tol,
+		Precision: opts.Precision,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("infer: %w", err)
@@ -89,7 +64,7 @@ func NewEngine(m *core.Model, opts Options) (*Engine, error) {
 		lim = DefaultLimits()
 	}
 	e := &Engine{sc: sc, k: k, topK: topK, lim: lim}
-	e.sorter.idx = make([]int, k)
+	e.sorter.Idx = make([]int, k)
 	return e, nil
 }
 
@@ -259,16 +234,14 @@ func (e *Engine) grow(n int) {
 
 // selectTopK fills top with the len(top) most probable clusters of theta,
 // descending by probability with ties broken by ascending cluster index.
-// A full O(K log K) index sort over the engine's reusable scratch:
+// A full O(K log K) index sort over the engine's reusable scratch
+// (core.DescWeightSorter — the system-wide "best first" comparator):
 // deterministic, allocation-free, and cheap even at top-k = K.
 func (e *Engine) selectTopK(top []ClusterProb, theta []float64) {
-	idx := e.sorter.idx[:len(theta)]
-	for c := range idx {
-		idx[c] = c
-	}
-	e.sorter.theta = theta
+	e.sorter.Reset(theta)
 	sort.Sort(&e.sorter)
 	for j := range top {
-		top[j] = ClusterProb{Cluster: idx[j], P: theta[idx[j]]}
+		c := e.sorter.Idx[j]
+		top[j] = ClusterProb{Cluster: c, P: theta[c]}
 	}
 }

@@ -32,6 +32,7 @@ package infer
 import (
 	"fmt"
 
+	"genclus/internal/core"
 	"genclus/internal/hin"
 )
 
@@ -153,6 +154,10 @@ type Options struct {
 	// Tol stops the fold-in iteration once max_k |Δθ| falls below it; zero
 	// (the default) iterates to bitwise stationarity.
 	Tol float64
+	// Precision mirrors the fit's storage precision: "float32" rounds every
+	// posterior row like a float32 fit rounds Θ, which reproducing a
+	// float32 model's training rows requires. Empty means float64.
+	Precision core.Precision
 	// Limits bounds AssignBatch inputs; the zero value takes DefaultLimits.
 	// Use Unbounded to disable bounding explicitly.
 	Limits Limits

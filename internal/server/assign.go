@@ -112,8 +112,9 @@ func (s *Server) dispatcher(e *modelEntry) (*assignDispatcher, error) {
 	s.assignStats.recordCacheLookup(false)
 
 	eng, err := infer.NewEngine(e.model, infer.Options{
-		TopK:    e.model.K,         // responses trim to the requested top_k
-		Epsilon: s.modelEpsilon(e), // the fit's own floor, when recorded
+		TopK:      e.model.K,         // responses trim to the requested top_k
+		Epsilon:   s.modelEpsilon(e), // the fit's own floor, when recorded
+		Precision: e.precision,       // the snapshot's storage precision
 		Limits: infer.Limits{
 			// Coalesced passes may exceed one request's cap; per-request
 			// batch size is bounded at decode (infer.DecodeRequest).

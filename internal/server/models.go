@@ -32,6 +32,11 @@ type modelEntry struct {
 	created time.Time
 	digest  string // hex SHA-256 of the canonical snapshot bytes
 	size    int64  // canonical snapshot length in bytes
+	// precision is the snapshot's storage precision (wire flags for decoded
+	// snapshots, the fit options for locally-registered ones) — re-encoding
+	// must reproduce the same bytes, and listings serve it so operators can
+	// audit mixed-precision registries.
+	precision core.Precision
 
 	jobID     string // source job, "" for imported models
 	networkID string // source network, "" for imported models
@@ -49,6 +54,9 @@ type modelResponse struct {
 	SizeBytes     int64  `json:"size_bytes"`
 	OptionsDigest string `json:"options_digest,omitempty"`
 	EMIterations  int    `json:"em_iterations"`
+	// Precision is the snapshot's storage precision ("float64" or
+	// "float32"), served on both the list and single-model responses.
+	Precision string `json:"precision"`
 }
 
 // modelsResponse is the GET /v1/models body.
@@ -68,6 +76,7 @@ func (s *Server) modelResponse(e *modelEntry) modelResponse {
 		SizeBytes:     e.size,
 		OptionsDigest: e.meta[metaOptionsDigest],
 		EMIterations:  e.model.EMIterations,
+		Precision:     snapshot.FormatPrecision(e.precision),
 	}
 }
 
@@ -106,7 +115,10 @@ func (s *Server) snapshotLimits() snapshot.Limits {
 // model stays addressable until the next restart rather than vanishing
 // because a volume filled up.
 func (s *Server) registerModel(m *core.Model, meta map[string]string, created time.Time, jobID, networkID string) (*modelEntry, error) {
-	data, err := snapshot.Encode(&snapshot.Snapshot{Model: m, Meta: meta})
+	// The fit's storage precision travels in the meta (persistFinishedJob
+	// records it); the wire flags follow it.
+	prec := snapshot.PrecisionFromMeta(meta)
+	data, err := snapshot.Encode(&snapshot.Snapshot{Model: m, Meta: meta, Precision: prec})
 	if err != nil {
 		return nil, err
 	}
@@ -117,6 +129,7 @@ func (s *Server) registerModel(m *core.Model, meta map[string]string, created ti
 		created:   created,
 		digest:    snapshot.DataDigest(data),
 		size:      int64(len(data)),
+		precision: prec,
 		jobID:     jobID,
 		networkID: networkID,
 	}
@@ -158,7 +171,7 @@ func (s *Server) exportBytes(e *modelEntry) ([]byte, error) {
 			}
 		}
 	}
-	return snapshot.Encode(&snapshot.Snapshot{Model: e.model, Meta: e.meta})
+	return snapshot.Encode(&snapshot.Snapshot{Model: e.model, Meta: e.meta, Precision: e.precision})
 }
 
 func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
@@ -243,12 +256,13 @@ func (s *Server) handleImportModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e := &modelEntry{
-		id:      newID("mdl"),
-		model:   snap.Model,
-		meta:    snap.Meta,
-		created: s.cfg.now(),
-		digest:  snapshot.DataDigest(data),
-		size:    int64(len(data)),
+		id:        newID("mdl"),
+		model:     snap.Model,
+		meta:      snap.Meta,
+		created:   s.cfg.now(),
+		digest:    snapshot.DataDigest(data),
+		size:      int64(len(data)),
+		precision: snap.Precision,
 		// job_id/network_id in the snapshot meta are provenance from the
 		// exporting process; they do not name jobs on THIS server, so the
 		// registry row leaves them blank and serves the meta digest only.

@@ -69,12 +69,13 @@ func (s *Server) persistFinishedJob(j *job, finished time.Time) {
 		return
 	}
 	meta := map[string]string{
-		metaCreated:           finished.UTC().Format(time.RFC3339Nano),
-		metaJobID:             j.id,
-		metaNetworkID:         j.networkID,
-		metaNetworkGeneration: strconv.Itoa(j.generation),
-		metaOptionsDigest:     snapshot.OptionsDigest(j.opts),
-		snapshot.MetaEpsilon:  snapshot.FormatEpsilon(j.opts.Epsilon),
+		metaCreated:            finished.UTC().Format(time.RFC3339Nano),
+		metaJobID:              j.id,
+		metaNetworkID:          j.networkID,
+		metaNetworkGeneration:  strconv.Itoa(j.generation),
+		metaOptionsDigest:      snapshot.OptionsDigest(j.opts),
+		snapshot.MetaEpsilon:   snapshot.FormatEpsilon(j.opts.Epsilon),
+		snapshot.MetaPrecision: snapshot.FormatPrecision(j.opts.Precision),
 	}
 	entry, err := s.registerModel(snap.result, meta, finished, j.id, j.networkID)
 	if err != nil {
@@ -188,6 +189,7 @@ func (s *Server) recoverFromDisk() error {
 			created:   created,
 			digest:    snapshot.DataDigest(data),
 			size:      int64(len(data)),
+			precision: snap.Precision,
 			jobID:     snap.Meta[metaJobID],
 			networkID: snap.Meta[metaNetworkID],
 		}

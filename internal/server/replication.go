@@ -45,12 +45,13 @@ func (r replicaRegistry) Install(id string, data []byte) error {
 	}
 	old, _ := s.store.model(id)
 	e := &modelEntry{
-		id:      id,
-		model:   snap.Model,
-		meta:    snap.Meta,
-		created: s.cfg.now(),
-		digest:  snapshot.DataDigest(data),
-		size:    int64(len(data)),
+		id:        id,
+		model:     snap.Model,
+		meta:      snap.Meta,
+		created:   s.cfg.now(),
+		digest:    snapshot.DataDigest(data),
+		size:      int64(len(data)),
+		precision: snap.Precision,
 		// The meta's job/network ids are the PRIMARY's provenance; the
 		// registry row carries them so listings mirror the primary's.
 		jobID:     snap.Meta[metaJobID],

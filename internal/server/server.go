@@ -585,6 +585,7 @@ type jobOptions struct {
 	InitialGamma         *float64 `json:"initial_gamma,omitempty"`
 	SymmetricPropagation *bool    `json:"symmetric_propagation,omitempty"`
 	Epsilon              *float64 `json:"epsilon,omitempty"`
+	Precision            *string  `json:"precision,omitempty"`
 }
 
 func (jo *jobOptions) apply(opts *core.Options) {
@@ -633,6 +634,12 @@ func (jo *jobOptions) apply(opts *core.Options) {
 	}
 	if jo.Epsilon != nil {
 		opts.Epsilon = *jo.Epsilon
+	}
+	if jo.Precision != nil {
+		// Unvalidated copy: Options.Validate rejects unknown precisions
+		// with core.PrecisionError, surfaced as 400 like every other
+		// invalid option.
+		opts.Precision = core.Precision(*jo.Precision)
 	}
 }
 

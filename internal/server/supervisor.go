@@ -234,6 +234,10 @@ func (sup *supervisor) triggerRefit(net *hin.Network, gen int, e *modelEntry, dr
 	if procs := runtime.GOMAXPROCS(0); opts.Parallelism > procs {
 		opts.Parallelism = procs
 	}
+	// An auto-refit of a float32 model stays float32: the refit replaces
+	// the model in place, and silently widening its storage would change
+	// snapshot bytes and replica traffic out from under the operator.
+	opts.Precision = e.precision
 	warm, err := e.model.RefitOptions(net, opts)
 	if err == nil {
 		opts = warm
@@ -428,8 +432,9 @@ func (sup *supervisor) driftEngine(e *modelEntry) error {
 		return nil
 	}
 	eng, err := infer.NewEngine(e.model, infer.Options{
-		TopK:    1,
-		Epsilon: sup.s.modelEpsilon(e),
+		TopK:      1,
+		Epsilon:   sup.s.modelEpsilon(e),
+		Precision: e.precision,
 		// The queries come from the network itself, already behind
 		// hin.Limits; request-style caps do not apply.
 		Unbounded: true,

@@ -47,8 +47,14 @@ func Read(r io.Reader, lim Limits) (*Snapshot, error) {
 	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != Version {
 		return nil, d.badf("unsupported version %d (decoder speaks %d)", v, Version)
 	}
-	if f := binary.LittleEndian.Uint16(hdr[6:8]); f != 0 {
-		return nil, d.badf("nonzero flags %#x", f)
+	flags := binary.LittleEndian.Uint16(hdr[6:8])
+	if unknown := flags &^ FlagFloat32; unknown != 0 {
+		return nil, d.badf("unknown flags %#x", unknown)
+	}
+	d.f32 = flags&FlagFloat32 != 0
+	prec := core.PrecisionFloat64
+	if d.f32 {
+		prec = core.PrecisionFloat32
 	}
 
 	nMeta, err := d.count("meta", d.lim.MaxMetaPairs)
@@ -130,7 +136,7 @@ func Read(r io.Reader, lim Limits) (*Snapshot, error) {
 			return nil, d.badf("relation %q out of order (non-canonical encoding)", name)
 		}
 		prevName = name
-		g, err := d.f64()
+		g, err := d.fp()
 		if err != nil {
 			return nil, err
 		}
@@ -259,12 +265,13 @@ func Read(r io.Reader, lim Limits) (*Snapshot, error) {
 		PseudoLL:        pseudoLL,
 		EMIterations:    emIters,
 		OuterIterations: outerIters,
+		Precision:       prec,
 	}
 	model, err := core.NewModel(res, ids)
 	if err != nil {
 		return nil, d.badf("reassemble model: %v", err)
 	}
-	return &Snapshot{Model: model, Meta: meta}, nil
+	return &Snapshot{Model: model, Meta: meta, Precision: prec}, nil
 }
 
 // msgTruncated is the FormatError message for inputs that end mid-section.
@@ -278,6 +285,7 @@ type decoder struct {
 	crc hash.Hash32
 	off int64
 	lim Limits
+	f32 bool // FlagFloat32 set: model floats are 4-byte on the wire
 }
 
 func (d *decoder) badf(format string, args ...any) error {
@@ -383,11 +391,28 @@ func (d *decoder) str() (string, error) {
 	return string(out), nil
 }
 
-// floats reads n raw little-endian float64s, growing the slice
-// incrementally (memory tracks bytes read, not the declared count).
+// floats reads n model floats at the snapshot's storage width (float32
+// widens exactly into float64), growing the slice incrementally (memory
+// tracks bytes read, not the declared count).
 func (d *decoder) floats(n int) ([]float64, error) {
 	out := make([]float64, 0, capHint(n))
 	var chunk [4096]byte
+	if d.f32 {
+		for n > 0 {
+			c := n
+			if c > len(chunk)/4 {
+				c = len(chunk) / 4
+			}
+			if err := d.full(chunk[:c*4]); err != nil {
+				return nil, err
+			}
+			for i := 0; i < c*4; i += 4 {
+				out = append(out, float64(math.Float32frombits(binary.LittleEndian.Uint32(chunk[i:i+4]))))
+			}
+			n -= c
+		}
+		return out, nil
+	}
 	for n > 0 {
 		c := n
 		if c > len(chunk)/8 {
@@ -411,6 +436,18 @@ func (d *decoder) f64() (float64, error) {
 		return 0, err
 	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(p[:])), nil
+}
+
+// fp reads one model float at the snapshot's storage width.
+func (d *decoder) fp() (float64, error) {
+	if !d.f32 {
+		return d.f64()
+	}
+	var p [4]byte
+	if err := d.full(p[:]); err != nil {
+		return 0, err
+	}
+	return float64(math.Float32frombits(binary.LittleEndian.Uint32(p[:]))), nil
 }
 
 // capHint bounds the initial capacity of a declared-size allocation: real

@@ -25,6 +25,12 @@ func OptionsDigest(opts core.Options) string {
 		opts.EMTol, opts.OuterTol, opts.NewtonIters, opts.NewtonTol, opts.PriorSigma,
 		opts.Seed, opts.InitSeeds, opts.InitSeedSteps, opts.Epsilon, opts.SmoothEta,
 		opts.VarFloor, opts.LearnGamma, opts.InitialGamma, opts.SymmetricPropagation)
+	// Appended only for non-default precision so every existing float64
+	// digest — including those already recorded in persisted snapshots —
+	// stays what it was.
+	if p, err := core.ParsePrecision(string(opts.Precision)); err == nil && p != core.PrecisionFloat64 {
+		fmt.Fprintf(h, "|prec=%s", p)
+	}
 	return hex.EncodeToString(h.Sum(nil)[:8])
 }
 
@@ -67,4 +73,30 @@ func EpsilonFromMeta(meta map[string]string, k int) float64 {
 		return 0
 	}
 	return eps
+}
+
+// MetaPrecision is the provenance meta key recording the fit's storage
+// precision (Options.Precision). The wire flags already fix how the bytes
+// decode; the meta copy is what the model registry lists so operators can
+// audit mixed-precision registries without re-reading snapshot payloads.
+const MetaPrecision = "precision"
+
+// FormatPrecision renders a precision for MetaPrecision ("" normalizes to
+// the float64 default).
+func FormatPrecision(p core.Precision) string {
+	if parsed, err := core.ParsePrecision(string(p)); err == nil {
+		return string(parsed)
+	}
+	return string(core.PrecisionFloat64)
+}
+
+// PrecisionFromMeta recovers the recorded storage precision. Absent or
+// unparsable entries degrade to the float64 default — bad provenance must
+// never fail serving.
+func PrecisionFromMeta(meta map[string]string) core.Precision {
+	p, err := core.ParsePrecision(meta[MetaPrecision])
+	if err != nil {
+		return core.PrecisionFloat64
+	}
+	return p
 }

@@ -42,16 +42,25 @@ func Write(w io.Writer, snap *Snapshot) error {
 	if snap == nil || snap.Model == nil {
 		return fmt.Errorf("snapshot: encode nil model")
 	}
-	if err := validateForEncode(snap.Model); err != nil {
+	prec, err := core.ParsePrecision(string(snap.Precision))
+	if err != nil {
+		return fmt.Errorf("snapshot: encode: %w", err)
+	}
+	f32 := prec == core.PrecisionFloat32
+	if err := validateForEncode(snap.Model, f32); err != nil {
 		return err
 	}
 	var body bytes.Buffer
-	e := &encoder{w: &body}
+	e := &encoder{w: &body, f32: f32}
 
 	body.WriteString(Magic)
 	var hdr [4]byte
 	binary.LittleEndian.PutUint16(hdr[0:2], Version)
-	binary.LittleEndian.PutUint16(hdr[2:4], 0) // flags
+	var flags uint16
+	if f32 {
+		flags |= FlagFloat32
+	}
+	binary.LittleEndian.PutUint16(hdr[2:4], flags)
 	body.Write(hdr[:])
 
 	metaKeys := make([]string, 0, len(snap.Meta))
@@ -75,7 +84,7 @@ func Write(w io.Writer, snap *Snapshot) error {
 	}
 	for _, row := range res.Theta {
 		for _, x := range row {
-			e.f64(x)
+			e.fp(x)
 		}
 	}
 
@@ -87,11 +96,11 @@ func Write(w io.Writer, snap *Snapshot) error {
 	e.uvarint(uint64(len(relNames)))
 	for _, name := range relNames {
 		e.str(name)
-		e.f64(res.Gamma[name])
+		e.fp(res.Gamma[name])
 	}
 	e.uvarint(uint64(len(res.GammaVec)))
 	for _, g := range res.GammaVec {
-		e.f64(g)
+		e.fp(g)
 	}
 
 	e.uvarint(uint64(len(res.Attrs)))
@@ -103,16 +112,16 @@ func Write(w io.Writer, snap *Snapshot) error {
 			for _, row := range am.Cat.Beta {
 				e.uvarint(uint64(len(row)))
 				for _, x := range row {
-					e.f64(x)
+					e.fp(x)
 				}
 			}
 		case hin.Numeric:
 			e.b(wireNumeric)
 			for _, mu := range am.Gauss.Mu {
-				e.f64(mu)
+				e.fp(mu)
 			}
 			for _, v := range am.Gauss.Var {
-				e.f64(v)
+				e.fp(v)
 			}
 		}
 	}
@@ -127,15 +136,18 @@ func Write(w io.Writer, snap *Snapshot) error {
 	binary.LittleEndian.PutUint32(foot[:], sum)
 	body.Write(foot[:])
 
-	_, err := w.Write(body.Bytes())
+	_, err = w.Write(body.Bytes())
 	return err
 }
 
 // encoder writes primitives to an in-memory buffer (bytes.Buffer writes
-// cannot fail, so the helpers carry no error returns).
+// cannot fail, so the helpers carry no error returns). f32 selects the
+// 4-byte storage width for model floats (fp); scalars written with f64 are
+// unaffected.
 type encoder struct {
 	w   *bytes.Buffer
 	tmp [binary.MaxVarintLen64]byte
+	f32 bool
 }
 
 func (e *encoder) uvarint(v uint64) {
@@ -153,14 +165,28 @@ func (e *encoder) f64(x float64) {
 	e.w.Write(e.tmp[:8])
 }
 
+// fp writes one model float at the snapshot's storage width.
+func (e *encoder) fp(x float64) {
+	if e.f32 {
+		binary.LittleEndian.PutUint32(e.tmp[:4], math.Float32bits(float32(x)))
+		e.w.Write(e.tmp[:4])
+		return
+	}
+	e.f64(x)
+}
+
 func (e *encoder) b(v byte) { e.w.WriteByte(v) }
 
 // validateForEncode checks the model is within the format's domain so the
 // encoder never emits bytes its own decoder rejects: consistent shapes
 // (every Θ row and attribute component at K entries, GammaVec matching the
 // strength map when present), finite non-negative memberships, strengths
-// and term probabilities, and strictly positive variances.
-func validateForEncode(m *core.Model) error {
+// and term probabilities, and strictly positive variances. Under float32
+// storage the variance check applies after narrowing — a float64 variance
+// tiny enough to round to a float32 zero would otherwise decode as invalid
+// (a float32 fit can't produce one, but Snapshot.Precision is settable on
+// any model).
+func validateForEncode(m *core.Model, f32 bool) error {
 	res := m.Result
 	if res == nil {
 		return fmt.Errorf("snapshot: encode model with nil Result")
@@ -176,13 +202,13 @@ func validateForEncode(m *core.Model) error {
 			return fmt.Errorf("snapshot: Theta row %d has %d entries, want K=%d", v, len(row), res.K)
 		}
 		for _, x := range row {
-			if !finiteNonNeg(x) {
+			if !finiteNonNeg(x) || (f32 && !fitsF32(x)) {
 				return fmt.Errorf("snapshot: Theta row %d has invalid entry %v", v, x)
 			}
 		}
 	}
 	for name, g := range res.Gamma {
-		if !finiteNonNeg(g) {
+		if !finiteNonNeg(g) || (f32 && !fitsF32(g)) {
 			return fmt.Errorf("snapshot: strength %q = %v, want finite ≥ 0", name, g)
 		}
 	}
@@ -190,7 +216,7 @@ func validateForEncode(m *core.Model) error {
 		return fmt.Errorf("snapshot: GammaVec has %d entries for %d named strengths", len(res.GammaVec), len(res.Gamma))
 	}
 	for r, g := range res.GammaVec {
-		if !finiteNonNeg(g) {
+		if !finiteNonNeg(g) || (f32 && !fitsF32(g)) {
 			return fmt.Errorf("snapshot: GammaVec[%d] = %v, want finite ≥ 0", r, g)
 		}
 	}
@@ -202,7 +228,7 @@ func validateForEncode(m *core.Model) error {
 			}
 			for k, row := range am.Cat.Beta {
 				for _, x := range row {
-					if !finiteNonNeg(x) {
+					if !finiteNonNeg(x) || (f32 && !fitsF32(x)) {
 						return fmt.Errorf("snapshot: attribute %q component %d has invalid probability %v", am.Name, k, x)
 					}
 				}
@@ -212,11 +238,15 @@ func validateForEncode(m *core.Model) error {
 				return fmt.Errorf("snapshot: attribute %q has malformed Gaussian components, want K=%d", am.Name, res.K)
 			}
 			for k := 0; k < res.K; k++ {
-				if mu := am.Gauss.Mu[k]; math.IsNaN(mu) || math.IsInf(mu, 0) {
+				if mu := am.Gauss.Mu[k]; math.IsNaN(mu) || math.IsInf(mu, 0) || (f32 && !fitsF32(mu)) {
 					return fmt.Errorf("snapshot: attribute %q component %d has invalid mean %v", am.Name, k, mu)
 				}
-				if v := am.Gauss.Var[k]; !(v > 0) || math.IsInf(v, 0) {
+				v := am.Gauss.Var[k]
+				if !(v > 0) || math.IsInf(v, 0) {
 					return fmt.Errorf("snapshot: attribute %q component %d has invalid variance %v", am.Name, k, v)
+				}
+				if f32 && !(float32(v) > 0) {
+					return fmt.Errorf("snapshot: attribute %q component %d variance %v underflows float32 storage", am.Name, k, v)
 				}
 			}
 		default:
@@ -231,6 +261,13 @@ func validateForEncode(m *core.Model) error {
 
 func finiteNonNeg(x float64) bool {
 	return x >= 0 && !math.IsInf(x, 0) // NaN fails x >= 0
+}
+
+// fitsF32 reports whether narrowing x to float32 storage stays finite — a
+// value a float32-precision fit can actually hold (it clamps at fit time;
+// arbitrary models must be rejected rather than silently saturated).
+func fitsF32(x float64) bool {
+	return !math.IsInf(float64(float32(x)), 0)
 }
 
 func catLen(c *core.CatParams) int {

@@ -19,19 +19,30 @@
 // length followed by the bytes. Sections appear in this fixed order:
 //
 //	magic   "GCSN" (4 bytes)
-//	version uint16 LE (currently 1), flags uint16 LE (0)
+//	version uint16 LE (currently 1), flags uint16 LE
 //	meta    count, then (key, value) string pairs, keys strictly ascending
 //	k       cluster count
 //	objects count n, then n object-ID strings (Θ row order)
-//	theta   n×k float64
-//	gamma   count r, then (relation name, float64) pairs, names ascending
-//	gvec    count m (0 or r), then m float64 (dense-order γ, when retained)
+//	theta   n×k model floats
+//	gamma   count r, then (relation name, model float) pairs, names ascending
+//	gvec    count m (0 or r), then m model floats (dense-order γ, when retained)
 //	attrs   count, then per attribute: name, kind byte (0 categorical,
-//	        1 numeric); categorical: k rows of (vocab length, floats);
-//	        numeric: k means then k variances
+//	        1 numeric); categorical: k rows of (vocab length, model floats);
+//	        numeric: k means then k variances (model floats)
 //	scalars objective float64, pseudo-LL float64, EM iterations, outer
 //	        iterations
 //	crc     uint32 LE CRC-32C (Castagnoli) of every preceding byte
+//
+// "Model floats" — Θ, γ, and the attribute component parameters — are raw
+// IEEE-754 float64 bits by default. When the FlagFloat32 flags bit is set
+// (the additive format extension for models fitted with
+// Options.Precision = "float32") they are raw float32 bits instead, halving
+// the payload; the two scalar objectives always stay float64. Any other
+// flags bit is unknown and rejected, which is exactly how pre-extension
+// decoders refuse float32 snapshots (typed *FormatError, never a misread) —
+// while flags-zero snapshots decode unchanged as float64. The fitted state
+// of a float32 fit is float32-representable by construction, so narrowing
+// on encode loses nothing and decode→encode reproduces the bytes.
 //
 // Encoding is deterministic (maps are sorted, floats are exact bits), and
 // the decoder rejects any input whose re-encoding would differ — so
@@ -55,6 +66,12 @@ const Magic = "GCSN"
 // not).
 const Version = 1
 
+// FlagFloat32 marks a snapshot whose model floats are stored as raw
+// float32 bits (fitted under Options.Precision = "float32"). Decoders that
+// predate the extension reject the bit as unknown flags; every other flags
+// bit remains reserved and rejected.
+const FlagFloat32 uint16 = 0x1
+
 // Snapshot pairs a fitted model with the metadata recorded at export time.
 type Snapshot struct {
 	// Model is the fitted model: Θ, γ, attribute component models,
@@ -65,6 +82,12 @@ type Snapshot struct {
 	// records the source job id, network id, finish time, and the options
 	// digest here. Keys are sorted on encode; nil and empty are equivalent.
 	Meta map[string]string
+	// Precision selects the storage width of the model floats on the wire:
+	// core.PrecisionFloat64 (or empty) writes the flags-zero float64 layout,
+	// core.PrecisionFloat32 sets FlagFloat32 and writes float32 payloads.
+	// Decode fills it from the flags word, so re-encoding a decoded
+	// snapshot reproduces its bytes.
+	Precision core.Precision
 }
 
 // Limits bounds what a decoded snapshot may allocate, in the same spirit as

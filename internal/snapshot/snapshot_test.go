@@ -187,7 +187,7 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 	}
 	mutate("bad-magic", func(b []byte) []byte { b[0] = 'X'; return b })
 	mutate("future-version", func(b []byte) []byte { b[4] = 99; return b })
-	mutate("nonzero-flags", func(b []byte) []byte { b[6] = 1; return b })
+	mutate("unknown-flag-bit", func(b []byte) []byte { b[6] = 2; fixChecksum(b); return b })
 	mutate("truncated-header", func(b []byte) []byte { return b[:5] })
 	mutate("truncated-mid-body", func(b []byte) []byte { return b[:len(b)/2] })
 	mutate("truncated-footer", func(b []byte) []byte { return b[:len(b)-2] })

@@ -1,0 +1,128 @@
+package genclus_test
+
+import (
+	"bytes"
+	"testing"
+
+	"genclus"
+)
+
+// fitLabels fits the dataset's network at the given precision and returns
+// the hard partition.
+func fitLabels(t *testing.T, ds *genclus.Dataset, prec genclus.Precision, seed int64) []int {
+	t.Helper()
+	opts := genclus.DefaultOptions(ds.NumClusters).WithPrecision(prec)
+	opts.Seed = seed
+	opts.OuterIters = 4
+	opts.EMIters = 8
+	res, err := genclus.Fit(ds.Net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return genclus.HardLabels(res.Theta)
+}
+
+// TestEncodeModelPreservesPrecision pins the public-API serialization path
+// the CLI's -save-model rides: a model fitted under PrecisionFloat32 must
+// encode in the float32 wire layout (FlagFloat32 set, smaller payload) and
+// decode back as a float32 model that re-encodes byte-identically, without
+// the caller re-stating the precision anywhere. This regressed once —
+// genclus.EncodeModel built the snapshot without consulting the fit's
+// precision, silently re-widening float32 CLI fits to the float64 layout.
+func TestEncodeModelPreservesPrecision(t *testing.T) {
+	ds, err := genclus.GenerateWeather(genclus.WeatherSetting1(30, 20, 3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := genclus.DefaultOptions(ds.NumClusters).WithPrecision(genclus.PrecisionFloat32)
+	opts.Seed = 3
+	opts.OuterIters = 2
+	opts.EMIters = 5
+	m32, err := genclus.Fit(ds.Net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m32.Precision != genclus.PrecisionFloat32 {
+		t.Fatalf("float32 fit reports Precision %q", m32.Precision)
+	}
+	enc32, err := genclus.EncodeModel(m32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte 6 is the low half of the little-endian flags word.
+	if enc32[6]&0x1 == 0 {
+		t.Fatal("float32 fit encoded without FlagFloat32")
+	}
+
+	m64, err := genclus.Fit(ds.Net, genclus.DefaultOptions(ds.NumClusters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc64, err := genclus.EncodeModel(m64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc64[6]&0x1 != 0 {
+		t.Fatal("float64 fit encoded with FlagFloat32 set")
+	}
+	if len(enc32) >= len(enc64) {
+		t.Errorf("float32 snapshot is %d bytes, float64 is %d — expected smaller", len(enc32), len(enc64))
+	}
+
+	dec, err := genclus.DecodeModel(enc32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Precision != genclus.PrecisionFloat32 {
+		t.Fatalf("decoded model reports Precision %q, want float32", dec.Precision)
+	}
+	re, err := genclus.EncodeModel(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, enc32) {
+		t.Error("decode→encode of a float32 snapshot is not byte-identical")
+	}
+}
+
+// TestFloat32NMIParity pins the documented accuracy contract of the float32
+// storage mode (docs/ARCHITECTURE.md, "Numerics"): on the synthetic
+// evaluation suites, the partition a float32 fit produces must agree with
+// the float64 partition of the same configuration at NMI ≥ 0.99. Arithmetic
+// runs in float64 either way — the modes differ only in rounding committed
+// parameters — so clusterings should diverge on at most a handful of
+// genuinely ambiguous boundary objects.
+func TestFloat32NMIParity(t *testing.T) {
+	suites := []struct {
+		name string
+		gen  func() (*genclus.Dataset, error)
+	}{
+		{"weather-setting1", func() (*genclus.Dataset, error) {
+			return genclus.GenerateWeather(genclus.WeatherSetting1(60, 40, 3, 9))
+		}},
+		{"biblio-AC", func() (*genclus.Dataset, error) {
+			cfg := genclus.DefaultBiblioConfig(genclus.SchemaAC, 11)
+			cfg.NumAuthors = 240
+			cfg.NumPapers = 360
+			cfg.NumConfs = 12
+			return genclus.GenerateBibliographic(cfg)
+		}},
+	}
+	for _, suite := range suites {
+		t.Run(suite.name, func(t *testing.T) {
+			ds, err := suite.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			l64 := fitLabels(t, ds, genclus.PrecisionFloat64, 4)
+			l32 := fitLabels(t, ds, genclus.PrecisionFloat32, 4)
+			nmi, err := genclus.NMI(l32, l64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nmi < 0.99 {
+				t.Errorf("float32 vs float64 NMI = %v on %s, want ≥ 0.99", nmi, ds.Name)
+			}
+		})
+	}
+}
