@@ -84,14 +84,23 @@ type APIError struct {
 	StatusCode int    // HTTP status the service answered with
 	Message    string // server-side error description
 	Code       string // machine-readable condition (e.g. "job_evicted"), "" when unset
+	// RequestID is the server-assigned id of the failed request — its trace
+	// id. Quote it in bug reports; the server resolves it on GET
+	// /v1/traces/{id} while the trace is retained. "" from servers (or
+	// proxies) that sent none.
+	RequestID string
 	// RetryAfter is the server's Retry-After hint on 429 responses (zero
 	// when the server sent none); retries honor it over the exponential
 	// backoff when it is longer.
 	RetryAfter time.Duration
 }
 
-// Error implements the error interface.
+// Error implements the error interface. The server's request id, when
+// present, rides along so any logged error is traceable server-side.
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("genclusd: %d: %s (request_id %s)", e.StatusCode, e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("genclusd: %d: %s", e.StatusCode, e.Message)
 }
 
@@ -264,8 +273,10 @@ type JobSpec struct {
 // Progress is a fit progress report: completed outer iterations out of the
 // configured budget (the fit may stop earlier on convergence).
 type Progress struct {
-	Outer      int `json:"outer"`       // completed outer iterations (0 = initialized)
-	OuterTotal int `json:"outer_total"` // configured outer-iteration budget
+	Outer        int     `json:"outer"`                   // completed outer iterations (0 = initialized)
+	OuterTotal   int     `json:"outer_total"`             // configured outer-iteration budget
+	Objective    float64 `json:"objective,omitempty"`     // objective after the reported iteration
+	EMIterations int     `json:"em_iterations,omitempty"` // EM steps the iteration ran
 }
 
 // Job is a job's status.
@@ -276,9 +287,13 @@ type Job struct {
 	Progress  *Progress `json:"progress,omitempty"` // latest progress report, if any
 	Error     string    `json:"error,omitempty"`    // failure reason (state "failed" only)
 	ModelID   string    `json:"model_id,omitempty"` // registry model of the finished fit (state "done" only)
-	Created   string    `json:"created"`            // RFC 3339 submission time
-	Started   string    `json:"started,omitempty"`  // RFC 3339 fit start time
-	Finished  string    `json:"finished,omitempty"` // RFC 3339 terminal time
+	// TraceID is the fit's 32-hex trace id: when the submission carried a
+	// traceparent (WithTraceparent) it equals that trace's id, and GET
+	// /v1/jobs/{id}/trace serves the fit's span timeline under it.
+	TraceID  string `json:"trace_id,omitempty"`
+	Created  string `json:"created"`            // RFC 3339 submission time
+	Started  string `json:"started,omitempty"`  // RFC 3339 fit start time
+	Finished string `json:"finished,omitempty"` // RFC 3339 terminal time
 }
 
 // ObjectResult is one clustered object: its hard assignment and soft
@@ -614,16 +629,24 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, idemp
 
 // doRaw issues one request with bounded retries and returns the raw 2xx
 // body — the byte-level transport shared by the JSON surface and the
-// binary snapshot endpoints.
+// binary snapshot endpoints. The traceparent is chosen once, before the
+// retry loop, so every attempt of one logical call shares a single trace;
+// when retries are exhausted the final error says how many attempts were
+// made and which trace id to look up, so retrying is never silent.
 func (c *Client) doRaw(ctx context.Context, method, path string, body []byte, contentType string, idempotent bool) ([]byte, error) {
+	tp := callTraceparent(ctx)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		data, err := c.once(ctx, method, path, body, contentType)
+		data, err := c.once(ctx, method, path, body, contentType, tp)
 		if err == nil {
 			return data, nil
 		}
 		lastErr = err
 		if !idempotent || attempt >= c.maxRetries || !transient(err) || ctx.Err() != nil {
+			if attempt > 0 {
+				// %w keeps errors.Is/As (APIError, ErrUnavailable, ...) intact.
+				return nil, fmt.Errorf("%w (after %d attempts, trace %s)", lastErr, attempt+1, TraceIDOf(tp))
+			}
 			return nil, lastErr
 		}
 		// Cap the exponent so a generous retry budget cannot overflow
@@ -648,7 +671,7 @@ func (c *Client) doRaw(ctx context.Context, method, path string, body []byte, co
 }
 
 // once issues a single HTTP request and maps non-2xx to *APIError.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, contentType string) ([]byte, error) {
+func (c *Client) once(ctx context.Context, method, path string, body []byte, contentType, traceparent string) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -659,6 +682,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, con
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -673,8 +699,8 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, con
 		return nil, &transportError{method: method, path: path, err: err}
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		msg, code := errorMessage(data)
-		ae := &APIError{StatusCode: resp.StatusCode, Message: msg, Code: code}
+		msg, code, reqID := errorMessage(data)
+		ae := &APIError{StatusCode: resp.StatusCode, Message: msg, Code: code, RequestID: reqID}
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 			ae.RetryAfter = time.Duration(secs) * time.Second
 		}
@@ -683,17 +709,19 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, con
 	return data, nil
 }
 
-// errorMessage extracts the server's {"error", "code"} body, falling back
-// to the raw text for non-JSON errors (proxies, older servers).
-func errorMessage(body []byte) (msg, code string) {
+// errorMessage extracts the server's {"error", "code", "request_id"} body,
+// falling back to the raw text for non-JSON errors (proxies, older
+// servers).
+func errorMessage(body []byte) (msg, code, reqID string) {
 	var er struct {
-		Error string `json:"error"`
-		Code  string `json:"code"`
+		Error     string `json:"error"`
+		Code      string `json:"code"`
+		RequestID string `json:"request_id"`
 	}
 	if err := json.Unmarshal(body, &er); err == nil && er.Error != "" {
-		return er.Error, er.Code
+		return er.Error, er.Code, er.RequestID
 	}
-	return strings.TrimSpace(string(body)), ""
+	return strings.TrimSpace(string(body)), "", ""
 }
 
 // transient reports whether an error is worth retrying: anything

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -327,6 +329,57 @@ func TestSDKRetryTransient(t *testing.T) {
 	}
 	if calls.Load() != 1 {
 		t.Fatalf("no-retry client made %d calls", calls.Load())
+	}
+}
+
+// TestSDKRetryExhaustedErrorContext pins the no-more-silent-retries
+// contract: when every attempt fails, the returned error names the attempt
+// count and the trace id the attempts shared, every attempt carried the
+// same caller-supplied traceparent, and errors.As still unwraps the typed
+// APIError with the server's request_id.
+func TestSDKRetryExhaustedErrorContext(t *testing.T) {
+	var gotTraceparents []string
+	var mu sync.Mutex
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		gotTraceparents = append(gotTraceparents, r.Header.Get("traceparent"))
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"down for repairs","request_id":"cafe"}`)
+	}))
+	defer down.Close()
+
+	tp := client.NewTraceparent()
+	ctx := client.WithTraceparent(context.Background(), tp)
+	c := client.New(down.URL, client.WithRetries(2, time.Millisecond))
+	_, err := c.Health(ctx)
+	if err == nil {
+		t.Fatal("health against a dead upstream succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "after 3 attempts") {
+		t.Errorf("exhausted-retry error %q does not report the attempt count", msg)
+	}
+	if !strings.Contains(msg, client.TraceIDOf(tp)) {
+		t.Errorf("exhausted-retry error %q does not carry trace id %s", msg, client.TraceIDOf(tp))
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("wrapped error lost the APIError: %v", err)
+	}
+	if ae.RequestID != "cafe" {
+		t.Errorf("APIError.RequestID %q, want the server-reported id", ae.RequestID)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(gotTraceparents) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(gotTraceparents))
+	}
+	for i, got := range gotTraceparents {
+		if got != tp {
+			t.Errorf("attempt %d sent traceparent %q, want the caller's %q", i, got, tp)
+		}
 	}
 }
 

@@ -175,6 +175,13 @@ func (m *MultiEndpoint) ListModels(ctx context.Context) ([]ModelInfo, error) {
 // errors (404 for a model the replica has not synced yet, 4xx validation
 // failures) return immediately without failover.
 func (m *MultiEndpoint) AssignObjects(ctx context.Context, modelID string, req AssignRequest) (*AssignResponse, error) {
+	// One trace for the whole failover sequence: every attempt — replicas,
+	// primary, desperation round — sends the same traceparent, so the
+	// servers' request traces share one trace id and the hops a request
+	// took through the tier are reconstructable from any node's /v1/traces.
+	if ContextTraceparent(ctx) == "" {
+		ctx = WithTraceparent(ctx, NewTraceparent())
+	}
 	healthy, quarantined := m.pickOrder()
 	var lastErr error
 	for _, ep := range healthy {

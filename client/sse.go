@@ -36,6 +36,9 @@ func (c *Client) StreamEvents(ctx context.Context, jobID string, fn func(Event) 
 		return fmt.Errorf("client: build request: %w", err)
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if tp := callTraceparent(ctx); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: stream events: %w", err)
@@ -43,8 +46,8 @@ func (c *Client) StreamEvents(ctx context.Context, jobID string, fn func(Event) 
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		msg, code := errorMessage(data)
-		return &APIError{StatusCode: resp.StatusCode, Message: msg, Code: code}
+		msg, code, reqID := errorMessage(data)
+		return &APIError{StatusCode: resp.StatusCode, Message: msg, Code: code, RequestID: reqID}
 	}
 
 	sc := bufio.NewScanner(resp.Body)

@@ -1,0 +1,65 @@
+package client
+
+import (
+	"context"
+
+	"genclus/internal/trace"
+)
+
+// Distributed-trace propagation for the SDK: every request carries a W3C
+// traceparent header. Callers that already have a trace (their own
+// middleware, another service) attach it with WithTraceparent; otherwise
+// the SDK mints one per logical call — all retry attempts of that call,
+// and all failover attempts of a MultiEndpoint call, share it. The trace
+// id (the first 32-hex field) is what the server logs as the request id,
+// returns in error bodies as request_id, and serves on GET /v1/traces/{id}.
+
+// traceparentKey carries the caller-supplied traceparent through contexts.
+type traceparentKey struct{}
+
+// WithTraceparent returns a context whose requests all propagate the given
+// W3C traceparent header value, joining the caller's existing trace. A
+// malformed value is ignored (the SDK mints fresh ones as usual) — trace
+// plumbing must never fail a request.
+func WithTraceparent(ctx context.Context, traceparent string) context.Context {
+	if _, ok := trace.Parse(traceparent); !ok {
+		return ctx
+	}
+	return context.WithValue(ctx, traceparentKey{}, traceparent)
+}
+
+// NewTraceparent mints a fresh W3C traceparent value ("00-<32 hex trace
+// id>-<16 hex span id>-01") for callers that want to know their trace id
+// up front: pass it through WithTraceparent, then query the server's
+// /v1/traces/{id} with the trace id field after the calls land.
+func NewTraceparent() string {
+	return trace.NewSpanContext().Traceparent()
+}
+
+// ContextTraceparent returns the traceparent ctx carries ("" if none was
+// attached with WithTraceparent).
+func ContextTraceparent(ctx context.Context) string {
+	tp, _ := ctx.Value(traceparentKey{}).(string)
+	return tp
+}
+
+// TraceIDOf extracts the 32-hex trace id from a traceparent value — the
+// handle the server's request_id fields and /v1/traces/{id} use. Empty on
+// a malformed value.
+func TraceIDOf(traceparent string) string {
+	sc, ok := trace.Parse(traceparent)
+	if !ok {
+		return ""
+	}
+	return sc.TraceID.String()
+}
+
+// callTraceparent picks the traceparent for one logical API call: the
+// caller's, or a freshly minted one. doRaw calls it once per call — before
+// the retry loop — so every retry attempt shares a single trace.
+func callTraceparent(ctx context.Context) string {
+	if tp := ContextTraceparent(ctx); tp != "" {
+		return tp
+	}
+	return NewTraceparent()
+}

@@ -17,6 +17,7 @@
 //	         [-read-timeout 2m] [-write-timeout 1m]
 //	         [-idle-timeout 2m] [-log-format text|json] [-log-level info]
 //	         [-replica-of URL] [-sync-interval 2s]
+//	         [-max-traces 256] [-trace-slow 1s] [-pprof-addr ""]
 //
 // With -data-dir, fitted state is durable: every finished fit's model
 // snapshot and job record are written crash-safely under DIR before the job
@@ -57,9 +58,20 @@
 // its persisted registry instead of re-downloading everything.
 //
 // GET /metrics serves the full operational instrument inventory in the
-// Prometheus text format (see docs/ARCHITECTURE.md, "Operations"), and
-// structured logs (slog; -log-format, -log-level) carry per-request and
-// per-job IDs.
+// Prometheus text format (see docs/ARCHITECTURE.md, "Operations"),
+// including Go runtime telemetry (goroutines, heap, GC), and structured
+// logs (slog; -log-format, -log-level) carry per-request and per-job IDs.
+//
+// Every request is traced: an inbound W3C traceparent header continues the
+// caller's trace, the trace id doubles as the request id in logs and error
+// bodies, and completed traces — requests, fits with per-iteration
+// timelines, supervisor decisions, replica sync passes — are browsable on
+// GET /v1/traces (ring bounded by -max-traces) and GET /v1/traces/{id};
+// GET /v1/jobs/{id}/trace serves a fit's timeline live. Requests slower
+// than -trace-slow are promoted to Warn-level log lines. -pprof-addr
+// starts the Go pprof profiling listener on a SEPARATE address (off by
+// default; never mounted on the serving mux — bind it to localhost or an
+// internal interface only).
 //
 // The genclus/client package is the typed Go SDK for this daemon; see
 // README.md for it and for the raw HTTP API.
@@ -72,6 +84,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -107,6 +120,9 @@ func main() {
 		idleTimeout    = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections (0 disables)")
 		logFormat      = flag.String("log-format", "text", "structured log encoding: text or json")
 		logLevelFlag   = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error (per-request lines are debug)")
+		maxTraces      = flag.Int("max-traces", 0, "completed request/job traces retained in memory for GET /v1/traces (default 256)")
+		traceSlow      = flag.Duration("trace-slow", time.Second, "promote requests slower than this to Warn-level logs with their trace id (0 disables)")
+		pprofAddr      = flag.String("pprof-addr", "", "serve Go pprof profiling on this SEPARATE address (e.g. localhost:6060); empty = off, never exposed on the main listener")
 	)
 	flag.Parse()
 
@@ -124,6 +140,10 @@ func main() {
 	wt := *writeTimeout
 	if wt == 0 {
 		wt = -1 // explicit 0s: no write deadline (Config treats negative as disabled)
+	}
+	ts := *traceSlow
+	if ts == 0 {
+		ts = -1 // explicit 0s: no slow-request promotion (Config treats negative as disabled)
 	}
 
 	srv, err := server.New(server.Config{
@@ -145,6 +165,8 @@ func main() {
 		ReplicaOf:                *replicaOf,
 		SyncInterval:             *syncInterval,
 		WriteTimeout:             wt,
+		MaxTraces:                *maxTraces,
+		TraceSlow:                ts,
 		Logger:                   logger,
 	})
 	if err != nil {
@@ -188,6 +210,21 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	logger.Info("listening", "addr", *addr)
 
+	// The pprof listener is its own server on its own address, never a route
+	// on the serving mux: profiling endpoints leak heap contents and must
+	// not ride the API's exposure. A pprof failure is logged, not fatal —
+	// the daemon serves fine without its profiler.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: pprofMux(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("pprof listener failed", "error", err)
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
 		srv.Close()
@@ -202,7 +239,23 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Warn("shutdown incomplete", "error", err)
 	}
+	if pprofSrv != nil {
+		_ = pprofSrv.Shutdown(shutdownCtx)
+	}
 	srv.Close() // aborts running fits and waits for workers to exit
+}
+
+// pprofMux builds an explicit mux for the profiling endpoints instead of
+// importing net/http/pprof for its DefaultServeMux side effects — the API
+// mux must never accidentally inherit them.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // buildLogger assembles the process logger from the -log-format and

@@ -79,7 +79,7 @@ func FitContext(ctx context.Context, net *hin.Network, opts Options) (*Model, er
 		return nil, err
 	}
 	if opts.Progress != nil {
-		opts.Progress(Progress{Outer: 0, OuterTotal: opts.OuterIters})
+		opts.Progress(Progress{Outer: 0, OuterTotal: opts.OuterIters, Objective: s.objectiveG1(), EMIterations: emTotal})
 	}
 
 	var history []Snapshot
@@ -116,7 +116,7 @@ func FitContext(ctx context.Context, net *hin.Network, opts Options) (*Model, er
 			return nil, err
 		}
 		if opts.Progress != nil {
-			opts.Progress(Progress{Outer: outer + 1, OuterTotal: opts.OuterIters})
+			opts.Progress(Progress{Outer: outer + 1, OuterTotal: opts.OuterIters, Objective: s.objectiveG1(), EMIterations: emTotal})
 		}
 		if opts.TrackHistory {
 			history = append(history, Snapshot{

@@ -160,6 +160,16 @@ type Progress struct {
 	// before reaching it when OuterTol triggers).
 	Outer      int
 	OuterTotal int
+	// Objective is the cluster-optimization objective g₁ (Eq. 9) at this
+	// point of the fit — the per-iteration convergence curve the paper plots.
+	// Computing it costs one read-only pass over the data, far below the EM
+	// step it reports on, and perturbs no fit state (bitwise determinism
+	// holds whether or not a Progress hook is set).
+	Objective float64
+	// EMIterations is the cumulative count of inner EM iterations executed
+	// so far, including best-of-seeds candidate runs — the work axis for the
+	// objective curve.
+	EMIterations int
 }
 
 // DefaultOptions mirrors the paper's experimental configuration.

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"genclus/internal/snapshot"
+	"genclus/internal/trace"
 )
 
 // Registry is the local model store a Syncer reconciles against the
@@ -69,6 +70,10 @@ type Config struct {
 	// Logger receives sync progress and failure lines (default
 	// slog.Default()).
 	Logger *slog.Logger
+	// Tracer, when set, records one trace per sync pass and propagates its
+	// traceparent on every list/export request, so a replica's pulls join
+	// up with the primary's request traces. Nil traces nothing.
+	Tracer *trace.Recorder
 	// Now is the test clock hook (default time.Now).
 	Now func() time.Time
 }
@@ -231,7 +236,18 @@ func (s *Syncer) SyncOnce(ctx context.Context) error {
 	s.attempt = s.now()
 	s.mu.Unlock()
 
+	// One trace per pass; its traceparent rides every outbound request via
+	// the context, so the primary's request traces share this trace id.
+	span := s.cfg.Tracer.StartTrace("replica.sync_pass", trace.SpanContext{}, s.now())
+	span.SetAttr("primary", s.cfg.Primary)
+	ctx = withTraceparent(ctx, span.Context().Traceparent())
 	installed, removed, err := s.pass(ctx)
+	span.SetAttr("models_synced", installed)
+	span.SetAttr("models_deleted", removed)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End(s.now())
 
 	s.mu.Lock()
 	s.synced += uint64(installed)
@@ -335,12 +351,33 @@ func (e *httpError) Error() string {
 	return fmt.Sprintf("replica: %s: primary answered %d", e.op, e.status)
 }
 
+// traceparentKey carries the sync pass's traceparent header value through
+// the context to every outbound request the pass makes.
+type traceparentKey struct{}
+
+// withTraceparent stores a non-empty traceparent on the context.
+func withTraceparent(ctx context.Context, tp string) context.Context {
+	if tp == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceparentKey{}, tp)
+}
+
+// injectTraceparent sets the pass's traceparent header, if any, on an
+// outbound request.
+func injectTraceparent(req *http.Request) {
+	if tp, ok := req.Context().Value(traceparentKey{}).(string); ok {
+		req.Header.Set("traceparent", tp)
+	}
+}
+
 // listPrimary fetches the primary's model registry listing.
 func (s *Syncer) listPrimary(ctx context.Context) ([]listedModel, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.cfg.Primary+"/v1/models", nil)
 	if err != nil {
 		return nil, fmt.Errorf("replica: build list request: %w", err)
 	}
+	injectTraceparent(req)
 	resp, err := s.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("replica: list models: %w", err)
@@ -367,6 +404,7 @@ func (s *Syncer) export(ctx context.Context, id string) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("replica: build export request: %w", err)
 	}
+	injectTraceparent(req)
 	resp, err := s.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("replica: export model %s: %w", id, err)

@@ -69,7 +69,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			// not held open until its timeout by attached consumers.
 			return
 		case p := <-sub:
-			if err := sse.event("progress", progressResponse{Outer: p.Outer, OuterTotal: p.OuterTotal}); err != nil {
+			if err := sse.event("progress", progressDoc(p)); err != nil {
 				return
 			}
 		case <-j.done:
@@ -77,7 +77,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			// close with the final state (which carries final progress).
 			select {
 			case p := <-sub:
-				_ = sse.event("progress", progressResponse{Outer: p.Outer, OuterTotal: p.OuterTotal})
+				_ = sse.event("progress", progressDoc(p))
 			default:
 			}
 			_ = sse.event("state", s.jobResponse(j))

@@ -11,6 +11,7 @@ import (
 	"genclus/internal/core"
 	"genclus/internal/eval"
 	"genclus/internal/hin"
+	"genclus/internal/trace"
 )
 
 // jobState is the lifecycle of a fit job.
@@ -61,6 +62,13 @@ type job struct {
 	// network view for its TTL.
 	generation int
 	net        *hin.Network
+	// span is the fit's trace root, opened at submit (parented to the
+	// submitting request's span, or to the supervisor decision that
+	// triggered the refit) and ended by finish. The worker hangs queue-wait,
+	// per-outer-iteration and persist spans off it. Nil for jobs recovered
+	// from disk — traces do not survive restarts — and every use is
+	// nil-safe. Immutable after the job is published.
+	span *trace.Span
 
 	mu       sync.Mutex
 	state    jobState
@@ -186,6 +194,15 @@ func (j *job) finish(state jobState, errMsg string, now time.Time) bool {
 	j.opts.InitGamma = nil
 	j.opts.InitAttrs = nil
 	j.net = nil
+	// The trace root ends with the job: ending it here — the single
+	// terminal-transition point — covers worker completion, pre-start
+	// cancellation and shutdown alike, and completes the trace into the
+	// recorder's ring.
+	j.span.SetAttr("state", string(state))
+	if errMsg != "" {
+		j.span.SetAttr("error", errMsg)
+	}
+	j.span.End(now)
 	close(j.done)
 	return true
 }
@@ -338,6 +355,7 @@ func (m *manager) run(j *job) {
 	j.cancel = cancel
 	pinned := j.net
 	j.mu.Unlock()
+	j.span.Record("job.queue_wait", j.created, started)
 	if m.met != nil {
 		m.met.fitQueueWait.Observe(started.Sub(j.created).Seconds())
 	}
@@ -375,7 +393,7 @@ func (m *manager) run(j *job) {
 	}
 
 	opts := j.opts
-	opts.Progress = j.publishProgress
+	opts.Progress = m.progressHook(j, started)
 	res, err := core.FitContext(jctx, net, opts)
 	switch {
 	case err == nil:
@@ -393,6 +411,10 @@ func (m *manager) run(j *job) {
 		finished := m.now()
 		if m.onDone != nil {
 			m.onDone(j, finished)
+			// Model registration + snapshot/record writes: the step that
+			// makes "done" mean "durable", and the usual suspect when a fit
+			// finishes fast but the job seems slow.
+			j.span.Record("job.persist", finished, m.now())
 		}
 		if m.met != nil {
 			m.met.fitEMIters.Observe(float64(res.EMIterations))
@@ -406,6 +428,30 @@ func (m *manager) run(j *job) {
 		finishRun(jobCancelled, msg, m.now())
 	default:
 		finishRun(jobFailed, err.Error(), m.now())
+	}
+}
+
+// progressHook wraps the job's progress fan-out with trace recording: one
+// completed span per fit phase — "fit.init" for initialization (Outer 0),
+// then "fit.outer_iteration" per completed outer alternation — each
+// carrying the objective g₁ and the cumulative inner-EM iteration count at
+// that point. The hook runs on the fitting goroutine once per OUTER
+// iteration, so it never touches the inner EM loops whose 0 allocs/op
+// steady state is gated by benchgate.
+func (m *manager) progressHook(j *job, started time.Time) func(core.Progress) {
+	prev := started
+	return func(p core.Progress) {
+		now := m.now()
+		name := "fit.outer_iteration"
+		if p.Outer == 0 {
+			name = "fit.init"
+		}
+		sp := j.span.Record(name, prev, now)
+		sp.SetAttr("outer", p.Outer)
+		sp.SetAttr("objective", p.Objective)
+		sp.SetAttr("em_iterations", p.EMIterations)
+		prev = now
+		j.publishProgress(p)
 	}
 }
 

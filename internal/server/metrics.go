@@ -4,10 +4,13 @@ import (
 	"context"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
 	"genclus/internal/metrics"
+	"genclus/internal/trace"
 )
 
 // The operations layer: GET /metrics serves every counter the daemon
@@ -163,7 +166,65 @@ func (s *Server) newServerMetrics() *serverMetrics {
 	reg.GaugeFunc("genclus_replica_models_deleted_total",
 		"Local models the replica sync loop removed because the primary dropped them.",
 		func() float64 { return float64(s.replicationStats().ModelsDeleted) })
+	// Go runtime telemetry, served from the shared TTL-cached sampler so a
+	// scrape storm cannot hammer ReadMemStats (a stop-the-world call).
+	reg.GaugeFunc("genclus_goroutines",
+		"Goroutines currently live in the daemon process.",
+		func() float64 { return float64(s.runtimeTelemetry().Goroutines) })
+	reg.GaugeFunc("genclus_heap_alloc_bytes",
+		"Bytes of live heap-allocated objects (runtime.MemStats.HeapAlloc).",
+		func() float64 { return float64(s.runtimeTelemetry().HeapAllocBytes) })
+	reg.GaugeFunc("genclus_gc_pause_total_seconds",
+		"Cumulative stop-the-world GC pause time since process start.",
+		func() float64 { return s.runtimeTelemetry().GCPauseTotalSeconds })
+	reg.GaugeFunc("genclus_gc_cycles_total",
+		"Completed GC cycles since process start.",
+		func() float64 { return float64(s.runtimeTelemetry().GCCycles) })
 	return m
+}
+
+// ---- runtime telemetry ----
+
+// runtimeStatsResponse is the /healthz runtime block, mirrored 1:1 onto the
+// genclus_goroutines / genclus_heap_alloc_bytes / genclus_gc_* gauges
+// (parity pinned by TestHealthzMetricsParity).
+type runtimeStatsResponse struct {
+	Goroutines          int     `json:"goroutines"`
+	HeapAllocBytes      uint64  `json:"heap_alloc_bytes"`
+	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+	GCCycles            uint32  `json:"gc_cycles"`
+}
+
+// runtimeSampleTTL bounds how often the daemon calls runtime.ReadMemStats:
+// one /metrics scrape reads four runtime gauges, and each ReadMemStats is a
+// stop-the-world, so the four share a single cached sample (as do
+// concurrent scrapers and /healthz).
+const runtimeSampleTTL = 250 * time.Millisecond
+
+// runtimeSampler caches one MemStats+goroutine sample for runtimeSampleTTL.
+type runtimeSampler struct {
+	mu         sync.Mutex
+	at         time.Time
+	mem        runtime.MemStats
+	goroutines int
+}
+
+// runtimeTelemetry returns the current (TTL-cached) runtime stats block.
+func (s *Server) runtimeTelemetry() runtimeStatsResponse {
+	rs := &s.runtimeSamples
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if now := time.Now(); rs.at.IsZero() || now.Sub(rs.at) > runtimeSampleTTL {
+		runtime.ReadMemStats(&rs.mem)
+		rs.goroutines = runtime.NumGoroutine()
+		rs.at = now
+	}
+	return runtimeStatsResponse{
+		Goroutines:          rs.goroutines,
+		HeapAllocBytes:      rs.mem.HeapAlloc,
+		GCPauseTotalSeconds: float64(rs.mem.PauseTotalNs) / 1e9,
+		GCCycles:            rs.mem.NumGC,
+	}
 }
 
 // httpRequestCounter is the on-demand {route, code} request counter; the
@@ -181,26 +242,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // ---- request IDs + per-route middleware ----
 
-// requestIDKey carries the middleware-assigned request ID through the
-// handler's context, so logs emitted deeper in the stack (job submission,
-// persistence) can join up with the request line.
+// requestIDKey carries the request's trace id (hex) through the handler's
+// context, so logs emitted deeper in the stack (job submission,
+// persistence) can join up with the request line and /v1/traces.
 type requestIDKey struct{}
 
-// requestID returns the request's middleware-assigned ID, "" outside a
-// request context.
+// spanKey carries the request's root *trace.Span through the handler's
+// context so downstream work (job creation) can parent onto it.
+type spanKey struct{}
+
+// requestID returns the request's trace id (the middleware-assigned
+// request ID), "" outside a request context.
 func requestID(ctx context.Context) string {
 	id, _ := ctx.Value(requestIDKey{}).(string)
 	return id
 }
 
+// spanContext returns the request span's context for cross-boundary
+// propagation (job roots, outbound headers); zero outside a request.
+func spanContext(ctx context.Context) trace.SpanContext {
+	if sp, ok := ctx.Value(spanKey{}).(*trace.Span); ok {
+		return sp.Context()
+	}
+	return trace.SpanContext{}
+}
+
 // statusWriter records the response status for the request log and
-// metrics. It deliberately does NOT implement http.Flusher itself —
-// flushWriter adds that only when the underlying writer supports it, so
-// the SSE handler's capability check still answers honestly.
+// metrics, and carries the request's trace id so the error writers can
+// stamp request_id into every error body (see responseRequestID). It
+// deliberately does NOT implement http.Flusher itself — flushWriter adds
+// that only when the underlying writer supports it, so the SSE handler's
+// capability check still answers honestly.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	reqID string
 }
+
+// traceRequestID exposes the trace id to responseRequestID's writer walk.
+func (sw *statusWriter) traceRequestID() string { return sw.reqID }
 
 func (sw *statusWriter) WriteHeader(code int) {
 	if sw.code == 0 {
@@ -229,11 +309,17 @@ func (fw flushWriter) Flush() { fw.statusWriter.ResponseWriter.(http.Flusher).Fl
 
 // instrument wraps one route's handler with the operations envelope:
 // write deadline (non-SSE routes only — an events stream may legitimately
-// live for the whole fit), request ID assignment, status capture, the
-// per-route request counter and duration histogram, and one structured
-// log line per request. Request logs are Debug level (high volume; turn
-// them on with -log-level debug), promoted to Warn on 5xx — a server
-// fault should be visible at default verbosity.
+// live for the whole fit), distributed-trace extraction, status capture,
+// the per-route request counter and duration histogram, and one structured
+// log line per request. Each request opens a root span named by its route:
+// a valid inbound W3C traceparent header continues the caller's trace
+// (same trace id, remote span as the root's parent), otherwise a fresh
+// trace id is minted. That trace id IS the request ID — it threads through
+// logs, error bodies (request_id), and GET /v1/traces/{id}. Request logs
+// are Debug level (high volume; turn them on with -log-level debug),
+// promoted to Warn on 5xx — a server fault should be visible at default
+// verbosity — and on requests slower than Config.TraceSlow, so the slow
+// tail surfaces with a trace handle attached.
 func (s *Server) instrument(rt Route) http.HandlerFunc {
 	routeKey := rt.Method + " " + rt.Path
 	duration := s.metrics.httpDurations[routeKey]
@@ -246,16 +332,19 @@ func (s *Server) instrument(rt Route) http.HandlerFunc {
 			// some test writers) just means no deadline — same as before.
 			_ = http.NewResponseController(w).SetWriteDeadline(start.Add(s.cfg.WriteTimeout))
 		}
-		reqID := newID("req")
+		parent, _ := trace.Parse(r.Header.Get("traceparent"))
+		span := s.tracer.StartTrace(routeKey, parent, start)
+		reqID := span.TraceID().String()
 		ctx := context.WithValue(r.Context(), requestIDKey{}, reqID)
-		sw := &statusWriter{ResponseWriter: w}
+		ctx = context.WithValue(ctx, spanKey{}, span)
+		sw := &statusWriter{ResponseWriter: w, reqID: reqID}
 		var ww http.ResponseWriter = sw
 		if _, ok := w.(http.Flusher); ok {
 			ww = flushWriter{sw}
 		}
 		if rt.mutating && s.cfg.ReplicaOf != "" {
 			// Read-only replica: refuse writes inside the envelope so the
-			// 403 still lands in metrics and the request log.
+			// 403 still lands in metrics, the trace ring and the request log.
 			writeErrorCode(ww, http.StatusForbidden, codeReadOnlyReplica,
 				"this node is a read-only replica of %s; send writes to the primary", s.cfg.ReplicaOf)
 		} else {
@@ -266,10 +355,13 @@ func (s *Server) instrument(rt Route) http.HandlerFunc {
 			code = http.StatusOK
 		}
 		elapsed := time.Since(start)
+		span.SetAttr("status", code)
+		span.End(start.Add(elapsed))
 		duration.Observe(elapsed.Seconds())
 		s.metrics.httpRequestCounter(routeKey, code).Inc()
 		level := slog.LevelDebug
-		if code >= 500 {
+		slow := s.cfg.TraceSlow > 0 && elapsed >= s.cfg.TraceSlow && !rt.sse
+		if code >= 500 || slow {
 			level = slog.LevelWarn
 		}
 		s.log.LogAttrs(ctx, level, "http request",
@@ -277,6 +369,7 @@ func (s *Server) instrument(rt Route) http.HandlerFunc {
 			slog.String("route", routeKey),
 			slog.Int("status", code),
 			slog.Duration("elapsed", elapsed),
+			slog.Bool("slow", slow),
 		)
 	}
 }

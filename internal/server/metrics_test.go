@@ -127,6 +127,11 @@ var healthzMetricNames = map[string]string{
 	"replication.sync_errors":    "genclus_replica_sync_errors_total",
 	"replication.models_synced":  "genclus_replica_models_synced_total",
 	"replication.models_deleted": "genclus_replica_models_deleted_total",
+
+	"runtime.goroutines":             "genclus_goroutines",
+	"runtime.heap_alloc_bytes":       "genclus_heap_alloc_bytes",
+	"runtime.gc_pause_total_seconds": "genclus_gc_pause_total_seconds",
+	"runtime.gc_cycles":              "genclus_gc_cycles_total",
 }
 
 // healthzNonCounters are healthz fields that are liveness/config metadata,
@@ -167,6 +172,9 @@ func TestHealthzMetricsParity(t *testing.T) {
 			if f.Type == reflect.TypeOf(replicationStatsResponse{}) {
 				continue // flattened below under "replication."
 			}
+			if f.Type == reflect.TypeOf(runtimeStatsResponse{}) {
+				continue // flattened below under "runtime."
+			}
 			fields = append(fields, prefix+tag)
 		}
 	}
@@ -174,6 +182,7 @@ func TestHealthzMetricsParity(t *testing.T) {
 	collect("assign.", reflect.TypeOf(assignStatsResponse{}))
 	collect("mutation.", reflect.TypeOf(mutationStatsResponse{}))
 	collect("replication.", reflect.TypeOf(replicationStatsResponse{}))
+	collect("runtime.", reflect.TypeOf(runtimeStatsResponse{}))
 
 	for _, f := range fields {
 		if healthzNonCounters[f] {
@@ -267,6 +276,9 @@ func assertOverloaded(t *testing.T, code int, body []byte, header http.Header) {
 	}
 	if er.Code != codeOverloaded {
 		t.Fatalf("429 code %q, want %q (%s)", er.Code, codeOverloaded, body)
+	}
+	if len(er.RequestID) != 32 {
+		t.Fatalf("429 request_id %q, want the 32-hex trace id (%s)", er.RequestID, body)
 	}
 	if header != nil && header.Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After header")

@@ -50,8 +50,10 @@ type jobRecord struct {
 	Created     time.Time      `json:"created"`
 	Started     time.Time      `json:"started"`
 	Finished    time.Time      `json:"finished"`
-	Outer       int            `json:"outer"`       // final progress, so a recovered
-	OuterTotal  int            `json:"outer_total"` // job's status reads like a live one
+	Outer       int            `json:"outer"`                   // final progress, so a recovered
+	OuterTotal  int            `json:"outer_total"`             // job's status reads like a live one
+	Objective   float64        `json:"objective,omitempty"`     // final objective (progress parity)
+	EMIters     int            `json:"em_iterations,omitempty"` // EM steps of the final iteration
 	ObjectTypes []string       `json:"object_types"`
 	Metrics     *resultMetrics `json:"metrics,omitempty"`
 }
@@ -99,6 +101,8 @@ func (s *Server) persistFinishedJob(j *job, finished time.Time) {
 		Finished:    finished.UTC(),
 		Outer:       snap.progress.Outer,
 		OuterTotal:  snap.progress.OuterTotal,
+		Objective:   snap.progress.Objective,
+		EMIters:     snap.progress.EMIterations,
 		ObjectTypes: types,
 		Metrics:     snap.metrics,
 	}
@@ -236,7 +240,7 @@ func (s *Server) recoverFromDisk() error {
 			networkID: rec.NetworkID,
 			created:   rec.Created,
 			state:     jobDone,
-			progress:  core.Progress{Outer: rec.Outer, OuterTotal: rec.OuterTotal},
+			progress:  core.Progress{Outer: rec.Outer, OuterTotal: rec.OuterTotal, Objective: rec.Objective, EMIterations: rec.EMIters},
 			result:    entry.model,
 			objects:   objects,
 			metrics:   rec.Metrics,

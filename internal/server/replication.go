@@ -100,6 +100,7 @@ func (s *Server) startReplication() error {
 		// accepted as an upload.
 		MaxSnapshotBytes: s.cfg.MaxBodyBytes,
 		Logger:           s.log,
+		Tracer:           s.tracer,
 		Now:              s.cfg.now,
 	})
 	if err != nil {

@@ -149,6 +149,9 @@ func TestReplicaReadOnlyRoutes(t *testing.T) {
 		if er.Code != codeReadOnlyReplica {
 			t.Errorf("%s %s: code %q, want %q", tc.method, tc.path, er.Code, codeReadOnlyReplica)
 		}
+		if len(er.RequestID) != 32 {
+			t.Errorf("%s %s: request_id %q, want the 32-hex trace id", tc.method, tc.path, er.RequestID)
+		}
 	}
 
 	// Reads stay open — and the same routes still mutate on the primary.

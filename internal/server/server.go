@@ -23,6 +23,9 @@
 //	POST   /v1/models/{id}/assign fold new objects into a model (online inference)
 //	POST   /v1/models/import      register an uploaded snapshot → metadata
 //	GET    /v1/replication        node role and replica sync state
+//	GET    /v1/traces             recent completed request/job traces
+//	GET    /v1/traces/{id}        one trace by 32-hex trace id
+//	GET    /v1/jobs/{id}/trace    a fit's span timeline (queue wait, iterations)
 //	GET    /healthz               liveness plus queue statistics
 //	GET    /metrics               Prometheus text-format metrics
 //
@@ -82,6 +85,7 @@ import (
 	"genclus/internal/hin"
 	"genclus/internal/replica"
 	diskstore "genclus/internal/store"
+	"genclus/internal/trace"
 )
 
 // Config sizes the service. Zero fields take the documented defaults.
@@ -154,6 +158,17 @@ type Config struct {
 	// streams are exempt — they legitimately outlive any single write
 	// budget and are bounded by drain/TTL instead.
 	WriteTimeout time.Duration
+
+	// MaxTraces bounds the in-memory ring of recent completed request
+	// traces served on GET /v1/traces (default 256). Job traces live on the
+	// job itself for its TTL; the ring only bounds the fleet-wide recent
+	// view.
+	MaxTraces int
+	// TraceSlow promotes requests slower than this to a Warn-level log
+	// line carrying the trace id, so slow requests surface at default
+	// verbosity with a handle into /v1/traces (default 1s; negative
+	// disables promotion).
+	TraceSlow time.Duration
 	// Logger receives structured request, job, and persistence logs (nil:
 	// slog.Default()). Per-request lines are Debug level; degraded
 	// durability and 5xx responses log at Warn/Error.
@@ -317,6 +332,15 @@ func (c Config) withDefaults() Config {
 	if c.WriteTimeout < 0 {
 		c.WriteTimeout = 0 // disabled
 	}
+	if c.MaxTraces <= 0 {
+		c.MaxTraces = 256
+	}
+	if c.TraceSlow == 0 {
+		c.TraceSlow = time.Second
+	}
+	if c.TraceSlow < 0 {
+		c.TraceSlow = 0 // disabled
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -361,6 +385,12 @@ type Server struct {
 	// /metrics instrument registry (see metrics.go).
 	log     *slog.Logger
 	metrics *serverMetrics
+	// tracer records every request, job, sync-pass and supervisor-decision
+	// trace; its ring backs GET /v1/traces (see trace.go).
+	tracer *trace.Recorder
+	// runtimeSamples caches runtime.ReadMemStats for the telemetry gauges
+	// and the /healthz runtime block (see runtimeTelemetry).
+	runtimeSamples runtimeSampler
 	// syncer is the replica-mode sync loop mirroring Config.ReplicaOf's
 	// model registry; nil on a primary (see replication.go).
 	syncer  *replica.Syncer
@@ -402,6 +432,7 @@ func New(cfg Config) (*Server, error) {
 	s.manager = newManager(st, cfg.Workers, cfg.QueueDepth, cfg.now)
 	s.manager.onDone = s.persistFinishedJob
 	s.log = cfg.Logger
+	s.tracer = trace.NewRecorder(cfg.MaxTraces)
 	s.metrics = s.newServerMetrics()
 	s.assignStats.met = s.metrics
 	s.mutationStats.met = s.metrics
@@ -466,6 +497,9 @@ func (s *Server) routes() []Route {
 		{Method: "GET", Path: "/v1/models/{id}/export", handler: s.handleExportModel},
 		{Method: "POST", Path: "/v1/models/{id}/assign", handler: s.handleAssign},
 		{Method: "GET", Path: "/v1/replication", handler: s.handleReplication},
+		{Method: "GET", Path: "/v1/traces", handler: s.handleListTraces},
+		{Method: "GET", Path: "/v1/traces/{id}", handler: s.handleGetTrace},
+		{Method: "GET", Path: "/v1/jobs/{id}/trace", handler: s.handleJobTrace},
 		{Method: "GET", Path: "/healthz", handler: s.handleHealthz},
 		{Method: "GET", Path: "/metrics", handler: s.handleMetrics},
 	}
@@ -536,10 +570,12 @@ func (s *Server) janitor() {
 // errorResponse carries the human-readable error and, for conditions a
 // client should distinguish programmatically, a stable machine-readable
 // code (currently only "job_evicted": the job existed but outlived its
-// TTL, as opposed to never having existed).
+// TTL, as opposed to never having existed). RequestID is the request's
+// trace id — quote it in bug reports and feed it to GET /v1/traces/{id}.
 type errorResponse struct {
-	Error string `json:"error"`
-	Code  string `json:"code,omitempty"`
+	Error     string `json:"error"`
+	Code      string `json:"code,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // codeJobEvicted is the error code for 404s on TTL-evicted jobs.
@@ -646,6 +682,17 @@ func (jo *jobOptions) apply(opts *core.Options) {
 type progressResponse struct {
 	Outer      int `json:"outer"`
 	OuterTotal int `json:"outer_total"`
+	// Objective is the relation-strength objective after the reported
+	// iteration; EMIterations is how many EM steps it ran. The same numbers
+	// appear as span attributes on the job's trace — these fields make them
+	// streamable without polling /v1/jobs/{id}/trace.
+	Objective    float64 `json:"objective,omitempty"`
+	EMIterations int     `json:"em_iterations,omitempty"`
+}
+
+// progressDoc converts a core progress report to its wire shape.
+func progressDoc(p core.Progress) *progressResponse {
+	return &progressResponse{Outer: p.Outer, OuterTotal: p.OuterTotal, Objective: p.Objective, EMIterations: p.EMIterations}
 }
 
 type jobResponse struct {
@@ -657,7 +704,11 @@ type jobResponse struct {
 	// ModelID names the registry model the finished fit was published as
 	// (state "done" only) — the handle for /v1/models and
 	// warm_start_from_model.
-	ModelID  string `json:"model_id,omitempty"`
+	ModelID string `json:"model_id,omitempty"`
+	// TraceID is the fit's 32-hex trace id — feed it to GET
+	// /v1/jobs/{id}/trace (or /v1/traces/{id} once finished) for the span
+	// timeline. Empty for jobs recovered from disk after a restart.
+	TraceID  string `json:"trace_id,omitempty"`
 	Created  string `json:"created"`
 	Started  string `json:"started,omitempty"`
 	Finished string `json:"finished,omitempty"`
@@ -707,6 +758,10 @@ type healthResponse struct {
 	// counters, and models synced/deleted. Zero (active=false) on a
 	// primary.
 	Replication replicationStatsResponse `json:"replication"`
+	// Runtime surfaces Go runtime telemetry — goroutine count, heap size,
+	// and cumulative GC work — sampled at most every runtimeSampleTTL so a
+	// scrape storm cannot turn ReadMemStats into a stop-the-world hammer.
+	Runtime runtimeStatsResponse `json:"runtime"`
 }
 
 // ---- handlers ----
@@ -718,12 +773,30 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...), RequestID: responseRequestID(w)})
 }
 
 // writeErrorCode is writeError with a machine-readable error code attached.
 func writeErrorCode(w http.ResponseWriter, code int, apiCode, format string, args ...any) {
-	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...), Code: apiCode})
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...), Code: apiCode, RequestID: responseRequestID(w)})
+}
+
+// responseRequestID recovers the request's trace id from the instrumented
+// ResponseWriter chain so every error body — 4xx shed loads included — can
+// carry it without threading the id through each handler. Writers outside
+// the middleware (tests calling handlers directly) yield "".
+func responseRequestID(w http.ResponseWriter) string {
+	for w != nil {
+		switch v := w.(type) {
+		case interface{ traceRequestID() string }:
+			return v.traceRequestID()
+		case interface{ Unwrap() http.ResponseWriter }:
+			w = v.Unwrap()
+		default:
+			return ""
+		}
+	}
+	return ""
 }
 
 // readBody drains a size-capped request body, mapping an overflow to 413.
@@ -869,7 +942,15 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		state:      jobQueued,
 		done:       make(chan struct{}),
 	}
+	// The fit's own trace starts now and continues the caller's trace: its
+	// root is parented to the submit request's span, so a caller-supplied
+	// traceparent flows SDK → submit → queue wait → every outer iteration.
+	j.span = s.tracer.StartTrace("job.fit", spanContext(r.Context()), j.created)
+	j.span.SetAttr("job", j.id)
+	j.span.SetAttr("network", req.NetworkID)
 	if err := s.manager.submit(j); err != nil {
+		j.span.SetAttr("error", err.Error())
+		j.span.End(s.cfg.now())
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -951,8 +1032,11 @@ func (s *Server) jobResponse(j *job) jobResponse {
 		ModelID:   snap.modelID,
 		Created:   j.created.UTC().Format(time.RFC3339Nano),
 	}
+	if j.span != nil {
+		resp.TraceID = j.span.TraceID().String()
+	}
 	if snap.state != jobQueued {
-		resp.Progress = &progressResponse{Outer: snap.progress.Outer, OuterTotal: snap.progress.OuterTotal}
+		resp.Progress = progressDoc(snap.progress)
 	}
 	if !snap.started.IsZero() {
 		resp.Started = snap.started.UTC().Format(time.RFC3339Nano)
@@ -1026,5 +1110,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Assign:          s.assignStats.snapshot(),
 		Mutation:        s.mutationStats.snapshot(s.store),
 		Replication:     s.replicationStats(),
+		Runtime:         s.runtimeTelemetry(),
 	})
 }

@@ -11,6 +11,7 @@ import (
 	"genclus/internal/core"
 	"genclus/internal/hin"
 	"genclus/internal/infer"
+	"genclus/internal/trace"
 )
 
 // The continuous-clustering supervisor: one background goroutine per
@@ -204,7 +205,16 @@ func (sup *supervisor) evaluate() {
 	if e == nil {
 		return
 	}
+	// From here the evaluation does real work (fold-in drift scoring), so it
+	// gets its own trace: the decision root, a drift-scoring child, and —
+	// when a refit triggers — the refit job's trace continues this trace id,
+	// making "why did the fleet refit?" answerable from GET /v1/traces.
+	dec := s.tracer.StartTrace("supervisor.decision", trace.SpanContext{}, s.cfg.now())
+	dec.SetAttr("network", sup.networkID)
+	dec.SetAttr("pending", pending)
+	driftStart := s.cfg.now()
 	drift := sup.computeDrift(net, e, touched)
+	dec.Record("supervisor.drift", driftStart, s.cfg.now()).SetAttr("sample", len(touched))
 	sup.mu.Lock()
 	sup.lastDrift = drift
 	sup.mu.Unlock()
@@ -216,10 +226,15 @@ func (sup *supervisor) evaluate() {
 	if th := s.cfg.SupervisorDriftThreshold; th > 0 && drift >= th {
 		reason = "drift"
 	}
+	dec.SetAttr("drift", drift)
 	if reason == "" {
+		dec.SetAttr("reason", "none")
+		dec.End(s.cfg.now())
 		return
 	}
-	sup.triggerRefit(net, gen, e, drift, pending, reason)
+	dec.SetAttr("reason", reason)
+	sup.triggerRefit(net, gen, e, drift, pending, reason, dec.Context())
+	dec.End(s.cfg.now())
 }
 
 // triggerRefit schedules a warm-start refit of the network's current
@@ -227,8 +242,9 @@ func (sup *supervisor) evaluate() {
 // client POST /v1/jobs with warm_start_from_model takes (DefaultOptions →
 // parallelism clamp → RefitOptions → server bounds → Validate), so the
 // auto-refit model is bitwise-identical to a manual warm start of the same
-// generation.
-func (sup *supervisor) triggerRefit(net *hin.Network, gen int, e *modelEntry, drift float64, pending int, reason string) {
+// generation. parent is the supervisor decision's span context, so the
+// refit job's trace continues the decision's trace id.
+func (sup *supervisor) triggerRefit(net *hin.Network, gen int, e *modelEntry, drift float64, pending int, reason string, parent trace.SpanContext) {
 	s := sup.s
 	opts := core.DefaultOptions(0) // K inherited from the warm-start model
 	if procs := runtime.GOMAXPROCS(0); opts.Parallelism > procs {
@@ -274,8 +290,14 @@ func (sup *supervisor) triggerRefit(net *hin.Network, gen int, e *modelEntry, dr
 		state:      jobQueued,
 		done:       make(chan struct{}),
 	}
+	j.span = s.tracer.StartTrace("job.fit", parent, j.created)
+	j.span.SetAttr("job", j.id)
+	j.span.SetAttr("network", sup.networkID)
+	j.span.SetAttr("trigger", reason)
 	if err := s.manager.submit(j); err != nil {
 		// Queue full: backpressure, not failure. Retry on the next tick.
+		j.span.SetAttr("error", err.Error())
+		j.span.End(s.cfg.now())
 		s.log.LogAttrs(context.Background(), slog.LevelDebug, "supervisor refit deferred",
 			slog.String("network", sup.networkID),
 			slog.String("error", err.Error()),

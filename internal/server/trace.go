@@ -1,0 +1,119 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"genclus/internal/trace"
+)
+
+// The trace surface: GET /v1/traces lists the recorder's ring of recently
+// completed traces (requests, fits, supervisor decisions, replica sync
+// passes), GET /v1/traces/{id} resolves one by its 32-hex trace id, and
+// GET /v1/jobs/{id}/trace serves a fit's span timeline — live while the
+// job runs, complete afterwards — with queue wait, per-outer-iteration
+// objective values, and the persist step. Everything is served from the
+// in-memory recorder (internal/trace); nothing here touches disk.
+
+// traceSpanResponse is one span on the wire. Attrs flatten the span's
+// key/value pairs (outer, objective, em_iterations, status, ...).
+type traceSpanResponse struct {
+	Name         string `json:"name"`
+	SpanID       string `json:"span_id"`
+	ParentSpanID string `json:"parent_span_id,omitempty"`
+	Start        string `json:"start"`
+	// End is empty while the span is still open (a running fit's root).
+	End             string         `json:"end,omitempty"`
+	DurationSeconds float64        `json:"duration_seconds"`
+	Attrs           map[string]any `json:"attrs,omitempty"`
+}
+
+// traceResponse is one trace: the root span first, children in creation
+// order (the order they were opened, which for fits is chronological).
+type traceResponse struct {
+	TraceID string              `json:"trace_id"`
+	Spans   []traceSpanResponse `json:"spans"`
+}
+
+type traceListResponse struct {
+	Traces []traceResponse `json:"traces"`
+}
+
+func traceFromSnapshot(snap trace.Snapshot) traceResponse {
+	out := traceResponse{TraceID: snap.TraceID.String(), Spans: make([]traceSpanResponse, len(snap.Spans))}
+	for i, sp := range snap.Spans {
+		tsr := traceSpanResponse{
+			Name:            sp.Name,
+			SpanID:          sp.ID.String(),
+			Start:           sp.Start.UTC().Format(time.RFC3339Nano),
+			DurationSeconds: sp.Duration().Seconds(),
+		}
+		if !sp.Parent.IsZero() {
+			tsr.ParentSpanID = sp.Parent.String()
+		}
+		if !sp.End.IsZero() {
+			tsr.End = sp.End.UTC().Format(time.RFC3339Nano)
+		}
+		if len(sp.Attrs) > 0 {
+			tsr.Attrs = make(map[string]any, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				tsr.Attrs[a.Key] = a.Value
+			}
+		}
+		out.Spans[i] = tsr
+	}
+	return out
+}
+
+// handleListTraces serves the recent-trace ring, newest first. ?limit=N
+// truncates (0 or absent: everything retained, bounded by Config.MaxTraces).
+func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	recent := s.tracer.Recent()
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "invalid limit %q", q)
+			return
+		}
+		if n < len(recent) {
+			recent = recent[:n]
+		}
+	}
+	resp := traceListResponse{Traces: make([]traceResponse, len(recent))}
+	for i, snap := range recent {
+		resp.Traces[i] = traceFromSnapshot(snap)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	raw := r.PathValue("id")
+	id, ok := trace.ParseTraceID(raw)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "invalid trace id %q (want 32 hex characters)", raw)
+		return
+	}
+	snap, ok := s.tracer.Lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "trace %s not found (completed traces are retained in a ring of %d)", raw, s.cfg.MaxTraces)
+		return
+	}
+	writeJSON(w, http.StatusOK, traceFromSnapshot(snap))
+}
+
+// handleJobTrace serves the fit's own trace — live (open root, spans so
+// far) while the job is queued or running, the full timeline once it is
+// terminal. Jobs recovered from disk after a restart predate the process
+// and have no trace (404 with a distinct message).
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	if j.span == nil {
+		writeError(w, http.StatusNotFound, "job %s has no trace (recovered from disk; traces do not survive restarts)", j.id)
+		return
+	}
+	writeJSON(w, http.StatusOK, traceFromSnapshot(j.span.Snapshot()))
+}

@@ -1,0 +1,244 @@
+package genclus_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"genclus/client"
+	"genclus/internal/testutil"
+)
+
+// Wire shapes of the trace endpoints, redeclared minimally here: these
+// tests exercise real genclusd subprocesses over plain HTTP, exactly as an
+// operator's tooling would.
+type traceSpanDoc struct {
+	Name         string         `json:"name"`
+	SpanID       string         `json:"span_id"`
+	ParentSpanID string         `json:"parent_span_id"`
+	Attrs        map[string]any `json:"attrs"`
+}
+
+type traceDoc struct {
+	TraceID string         `json:"trace_id"`
+	Spans   []traceSpanDoc `json:"spans"`
+}
+
+type traceListDoc struct {
+	Traces []traceDoc `json:"traces"`
+}
+
+// getTrace fetches one node's /v1/traces/{id}; ok=false on 404.
+func getTrace(t *testing.T, baseURL, traceID string) (traceDoc, bool) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/traces/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusNotFound {
+		return traceDoc{}, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/traces/%s on %s: %d: %s", traceID, baseURL, resp.StatusCode, body)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc, true
+}
+
+// listTraces fetches one node's full trace ring.
+func listTraces(t *testing.T, baseURL string) []traceDoc {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/traces on %s: %d: %s", baseURL, resp.StatusCode, body)
+	}
+	var doc traceListDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc.Traces
+}
+
+// TestTracePropagationAcrossProcesses drives the full propagation chain
+// through a real daemon: an SDK caller mints a traceparent, the submitted
+// fit's job trace adopts the caller's trace id, and a mutation-triggered
+// supervisor refit leaves a supervisor.decision trace whose refit job
+// continues the decision's trace id — all observable over the HTTP trace
+// surface of the subprocess.
+func TestTracePropagationAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ctx := context.Background()
+	primary := testutil.StartDaemon(t, testutil.Options{
+		Name:    "trace-primary",
+		DataDir: filepath.Join(t.TempDir(), "primary"),
+		Args: []string{
+			"-supervisor-max-pending", "1", // first uncovered mutation triggers
+			"-supervisor-drift", "-1",
+			"-supervisor-interval", "100ms",
+		},
+	})
+	pc := client.New(primary.URL())
+
+	tp := client.NewTraceparent()
+	tid := client.TraceIDOf(tp)
+	tctx := client.WithTraceparent(ctx, tp)
+
+	info, err := pc.UploadNetwork(tctx, recoveryNetwork(t, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, em, seeds, seed := 3, 5, 2, int64(7)
+	job, err := pc.SubmitJob(tctx, client.JobSpec{NetworkID: info.ID, K: 2, Options: &client.JobOptions{
+		OuterIters: &outer, EMIters: &em, InitSeeds: &seeds, Seed: &seed,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.TraceID != tid {
+		t.Fatalf("submitted job trace_id %q, want the SDK caller's %q", job.TraceID, tid)
+	}
+	if _, err := pc.WaitForResult(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fit's introspection timeline is served under the caller's trace id.
+	resp, err := http.Get(primary.URL() + "/v1/jobs/" + job.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job trace: %d: %s", resp.StatusCode, body)
+	}
+	var jt traceDoc
+	if err := json.Unmarshal(body, &jt); err != nil {
+		t.Fatal(err)
+	}
+	if jt.TraceID != tid {
+		t.Fatalf("job trace id %q, want %q", jt.TraceID, tid)
+	}
+	var iterations int
+	for _, sp := range jt.Spans {
+		if sp.Name == "fit.outer_iteration" {
+			iterations++
+		}
+	}
+	if iterations == 0 {
+		t.Fatalf("job trace has no fit.outer_iteration spans: %s", body)
+	}
+
+	// One mutation trips the pending trigger; the supervisor's decision and
+	// the refit it schedules share a trace.
+	if _, err := pc.AddObjects(ctx, info.ID, []client.NewObject{{ID: "alien", Type: "doc"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var decisionID string
+	deadline := time.Now().Add(60 * time.Second)
+	for decisionID == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no supervisor.decision trace appeared; daemon logs:\n%s", primary.Logs())
+		}
+		for _, tr := range listTraces(t, primary.URL()) {
+			if len(tr.Spans) == 0 || tr.Spans[0].Name != "supervisor.decision" {
+				continue
+			}
+			if r, _ := tr.Spans[0].Attrs["reason"].(string); r != "" && r != "none" {
+				decisionID = tr.TraceID
+				break
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("refit job trace never continued decision trace %s; logs:\n%s", decisionID, primary.Logs())
+		}
+		found := false
+		for _, tr := range listTraces(t, primary.URL()) {
+			if tr.TraceID == decisionID && len(tr.Spans) > 0 && tr.Spans[0].Name == "job.fit" {
+				if trg, _ := tr.Spans[0].Attrs["trigger"].(string); trg == "" {
+					t.Fatalf("cross-process refit trace lacks trigger attr: %+v", tr.Spans[0].Attrs)
+				}
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestMultiEndpointFailoverSharedTrace kills a replica under a MultiEndpoint
+// and checks the failover attempts all carry one caller-supplied traceparent:
+// the request trace for the assign that succeeded is retrievable by that
+// trace id from the surviving replica.
+func TestMultiEndpointFailoverSharedTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ctx := context.Background()
+	primary := testutil.StartDaemon(t, testutil.Options{
+		Name:    "trace-me-primary",
+		DataDir: filepath.Join(t.TempDir(), "primary"),
+	})
+	rep1 := testutil.StartDaemon(t, testutil.Options{Name: "trace-me-replica1", Args: replicaArgs(primary.URL())})
+	rep2 := testutil.StartDaemon(t, testutil.Options{Name: "trace-me-replica2", Args: replicaArgs(primary.URL())})
+
+	pc := client.New(primary.URL())
+	modelID, digest := fitModel(t, pc, 31)
+	want := map[string]string{modelID: digest}
+	waitConverged(t, client.New(rep1.URL()), "replica1", want)
+	waitConverged(t, client.New(rep2.URL()), "replica2", want)
+
+	rep1.Kill()
+
+	tp := client.NewTraceparent()
+	tid := client.TraceIDOf(tp)
+	tctx := client.WithTraceparent(ctx, tp)
+	me := client.NewMultiEndpoint(primary.URL(), []string{rep1.URL(), rep2.URL()},
+		client.WithQuarantine(50*time.Millisecond, time.Second))
+	req := client.AssignRequest{
+		TopK:    2,
+		Objects: []client.AssignObject{{ID: "q", Links: []client.AssignLink{{Relation: "cites", To: "doc0_000", Weight: 1}}}},
+	}
+	// Two calls cover both round-robin starting points; with replica1 dead,
+	// each must fail over and succeed, reusing the caller's traceparent.
+	for i := 0; i < 2; i++ {
+		if _, err := me.AssignObjects(tctx, modelID, req); err != nil {
+			t.Fatalf("assign %d during replica outage: %v", i, err)
+		}
+	}
+
+	// The surviving replica served at least one failover attempt, so it holds
+	// a request trace under the caller's id; the dead replica obviously holds
+	// nothing — the id is the cross-node join key.
+	tr, ok := getTrace(t, rep2.URL(), tid)
+	if !ok {
+		t.Fatalf("replica2 has no trace %s after failover; traces: %+v", tid, listTraces(t, rep2.URL()))
+	}
+	if len(tr.Spans) == 0 || tr.Spans[0].Name != "POST /v1/models/{id}/assign" {
+		t.Fatalf("trace %s root span %+v, want the assign request", tid, tr.Spans)
+	}
+	if st, _ := tr.Spans[0].Attrs["status"].(float64); st != http.StatusOK {
+		t.Fatalf("assign trace status attr %v, want 200", tr.Spans[0].Attrs["status"])
+	}
+}
